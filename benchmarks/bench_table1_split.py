@@ -1,0 +1,34 @@
+"""Table I: tree-split space distribution and extra messages.
+
+Paper values (space): k=1 -> 50.0 % / 16.7 %, k=2 -> 25.0 % / 25.0 %,
+k=3 -> 12.5 % / 29.2 %.  Messages: 4k short reads + 4k responses + 4k
+writes on the secure channel, m in [k, 2k] per normal channel.
+"""
+
+import pytest
+
+from conftest import print_rows
+
+from repro.analysis import experiments
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(experiments.table1, rounds=1, iterations=1)
+    data = {
+        f"k={row['k']}": {
+            "model_sec": row["secure_share"],
+            "paper_sec": row["paper_secure"],
+            "model_nrm": row["normal_share"],
+            "paper_nrm": row["paper_normal"],
+            "layout_sec": row["layout_secure"],
+            "layout_nrm": row["layout_normal"],
+            "sec_msgs": row["extra_secure_msgs"],
+        }
+        for row in rows
+    }
+    print_rows("Table I: space distribution & messages", data)
+    for row in rows:
+        assert row["secure_share"] == pytest.approx(row["paper_secure"],
+                                                    abs=0.001)
+        assert row["layout_normal"] == pytest.approx(row["paper_normal"],
+                                                     abs=0.01)

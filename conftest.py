@@ -1,0 +1,13 @@
+"""Pytest path shim: make ``src/`` importable without installation.
+
+The offline evaluation environment has no ``wheel`` package, so
+``pip install -e .`` cannot build editable metadata; this keeps
+``pytest`` working from a plain checkout either way.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,118 @@
+"""Scenario: a private medical-records service consolidated with analytics.
+
+The paper's introduction motivates ORAM with exactly this case: "when a
+medical application searches for the treatment information for a specific
+disease from the database, it is likely that the current patient has
+corresponding symptoms" -- the *addresses* leak the diagnosis even when
+the data is encrypted.
+
+This example builds the scenario end to end:
+
+* a tiny encrypted patient database stored inside a functional Path ORAM
+  (the S-App's data), queried by diagnosis;
+* a demonstration that the physical access trace of two very different
+  queries is statistically indistinguishable;
+* the co-run question the paper actually evaluates: what happens to the
+  seven analytics jobs (NS-Apps) sharing the server, under the on-chip
+  Path ORAM baseline vs D-ORAM's delegated engine.
+
+Run:  python examples/medical_database_corun.py
+"""
+
+from collections import Counter
+
+from repro.core import run_scheme
+from repro.crypto import EncryptedBucketCodec
+from repro.oram import OramConfig, PathOram
+
+
+# ---------------------------------------------------------------------------
+# A toy record store on top of the block-level ORAM API
+# ---------------------------------------------------------------------------
+
+class PrivateRecordStore:
+    """Fixed-slot record store: one 64 B record per ORAM block."""
+
+    def __init__(self, seed: int = 7) -> None:
+        config = OramConfig(leaf_level=9, treetop_levels=2, subtree_levels=3)
+        self.oram = PathOram(config, seed=seed,
+                             codec=EncryptedBucketCodec(b"hospital-key-16!"[:16]))
+        self._index = {}  # patient_id -> block (kept client-side, in TCB)
+        self._trace = []
+        self.oram.trace_hook = lambda kind, b: self._trace.append(b)
+
+    def admit(self, patient_id: int, diagnosis: str) -> None:
+        block = len(self._index)
+        self._index[patient_id] = block
+        record = f"patient={patient_id};dx={diagnosis}".encode()
+        self.oram.write(block, record.ljust(64, b"\0"))
+
+    def lookup(self, patient_id: int) -> str:
+        raw = self.oram.read(self._index[patient_id])
+        return raw.rstrip(b"\0").decode()
+
+    def drain_trace(self):
+        trace, self._trace = self._trace, []
+        return trace
+
+
+def privacy_demo() -> None:
+    print("=" * 68)
+    print("Private medical records: the address trace hides the diagnosis")
+    print("=" * 68)
+    store = PrivateRecordStore()
+    diagnoses = ["flu", "flu", "oncology", "cardiac", "flu", "oncology"]
+    for pid, dx in enumerate(diagnoses, start=500):
+        store.admit(pid, dx)
+    store.drain_trace()
+
+    # Query A: the patient with a sensitive diagnosis, 30 times.
+    for _ in range(30):
+        assert "oncology" in store.lookup(502)
+    trace_sensitive = store.drain_trace()
+
+    # Query B: a routine flu lookup, 30 times.
+    for _ in range(30):
+        assert "flu" in store.lookup(500)
+    trace_routine = store.drain_trace()
+
+    # The observer's view: bucket histograms of the two workloads.
+    def level1_balance(trace):
+        counts = Counter(b for b in trace if b in (2, 3))
+        total = counts[2] + counts[3]
+        return counts[2] / total if total else 0.0
+
+    print(f"30x oncology lookups touched {len(trace_sensitive)} buckets; "
+          f"level-1 left-subtree share: {level1_balance(trace_sensitive):.2f}")
+    print(f"30x routine   lookups touched {len(trace_routine)} buckets; "
+          f"level-1 left-subtree share: {level1_balance(trace_routine):.2f}")
+    print("-> same volume, same distribution: the bus reveals nothing\n")
+
+
+def corun_demo() -> None:
+    print("=" * 68)
+    print("Server consolidation: 7 analytics jobs next to the record store")
+    print("=" * 68)
+    trace = 1200
+    # 'face' is the most memory-hungry workload in Table III (MPKI 26.8):
+    # the analytics fleet that suffers most from ORAM interference.
+    rows = {}
+    for scheme in ("7ns-4ch", "baseline", "doram", "doram/4"):
+        rows[scheme] = run_scheme(scheme, "fa", trace)
+
+    clean = rows["7ns-4ch"].ns_mean_ns()
+    print(f"{'scheme':<12}{'NS time (us)':>14}{'vs clean':>10}"
+          f"{'NS read lat (ns)':>18}")
+    for scheme, result in rows.items():
+        print(f"{scheme:<12}{result.ns_mean_ns() / 1000:>14.1f}"
+              f"{result.ns_mean_ns() / clean:>10.2f}"
+              f"{result.read_latency_ns():>18.1f}")
+    print("\n-> the on-chip Path ORAM baseline drags every analytics job;")
+    print("   delegating the ORAM to the BOB secure engine (doram) and")
+    print("   rationing the secure channel (doram/4) claws most of it back,")
+    print("   while the record store keeps full Path ORAM protection.")
+
+
+if __name__ == "__main__":
+    privacy_demo()
+    corun_demo()

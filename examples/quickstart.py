@@ -1,0 +1,80 @@
+"""Quickstart: the two layers of the D-ORAM reproduction in two minutes.
+
+1. The *functional* layer: a real Path ORAM you can store data in, with
+   AES-encrypted buckets living in (simulated) untrusted memory.
+2. The *timing* layer: simulate one co-run scenario from the paper and
+   read off the headline metric.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.crypto import EncryptedBucketCodec
+from repro.oram import OramConfig, PathOram
+
+
+def functional_demo() -> None:
+    print("=" * 64)
+    print("1. Functional Path ORAM (Fig. 3 of the paper)")
+    print("=" * 64)
+
+    # A small tree: 2^10 leaves, Z=4, top two levels cached.  Every
+    # bucket is AES-CTR encrypted + MACed before it touches "memory".
+    config = OramConfig(leaf_level=10, treetop_levels=2, subtree_levels=4)
+    oram = PathOram(config, seed=42, codec=EncryptedBucketCodec(b"K" * 16))
+    print(f"tree: {config.num_levels} levels, "
+          f"{config.num_buckets:,} buckets, "
+          f"{config.num_user_blocks:,} user blocks of 64 B")
+
+    # Store and retrieve records obliviously.
+    oram.write(17, b"patient-522: diagnosis=flu".ljust(64, b" "))
+    oram.write(99, b"patient-523: diagnosis=ok ".ljust(64, b" "))
+    record = oram.read(17).rstrip()
+    print(f"read block 17 -> {record.decode()!r}")
+
+    # What the untrusted memory actually holds: ciphertext.
+    leaf = oram.state.position_map.lookup(17)
+    bucket = oram.geometry.path_buckets(leaf)[-1]
+    image = oram._buckets[bucket]
+    print(f"block 17 now maps to leaf {leaf}; "
+          f"a bucket on its path stores: {bytes(image[:24]).hex()}...")
+
+    # Accesses are indistinguishable: ten reads of the same block take
+    # ten different random paths.
+    paths = set()
+    for _ in range(10):
+        oram.read(17)
+        paths.add(oram.state.position_map.lookup(17))
+    print(f"10 repeat reads remapped block 17 across {len(paths)} "
+          f"distinct leaves -- the access pattern is gone")
+    oram.check_invariants()
+    print("protocol invariants: OK")
+
+
+def timing_demo() -> None:
+    print()
+    print("=" * 64)
+    print("2. Timing simulation (the paper's co-run experiment)")
+    print("=" * 64)
+    from repro.core import run_scheme
+
+    trace = 1200  # memory accesses per core; the paper used 500 M instrs
+    base = run_scheme("baseline", "libq", trace)
+    doram = run_scheme("doram", "libq", trace)
+
+    print(f"workload: 1 S-App (Path ORAM) + 7 NS-Apps, libquantum-like")
+    print(f"  Path ORAM baseline : NS-Apps finish in "
+          f"{base.ns_mean_ns() / 1000:8.1f} us")
+    print(f"  D-ORAM (delegated) : NS-Apps finish in "
+          f"{doram.ns_mean_ns() / 1000:8.1f} us")
+    ratio = doram.ns_mean_time() / base.ns_mean_time()
+    print(f"  normalized time    : {ratio:.3f}  "
+          f"(paper: 0.875 before tuning, 0.775 with D-ORAM/X)")
+    print(f"  S-App ORAM access  : "
+          f"{doram.s_app['oram_response_ns']:.0f} ns per access, "
+          f"{doram.s_app['oram_real_fraction']:.0%} real "
+          f"(rest are timing-channel dummies)")
+
+
+if __name__ == "__main__":
+    functional_demo()
+    timing_demo()

@@ -1,0 +1,18 @@
+"""D-ORAM reproduction (HPCA 2018, Wang/Zhang/Yang).
+
+A complete reimplementation of the paper's system and every substrate it
+depends on.  Start here:
+
+* :func:`repro.core.run_scheme` -- simulate any Section V configuration
+  (``"baseline"``, ``"doram"``, ``"doram+1/4"``, ...);
+* :class:`repro.oram.PathOram` -- the functional Path ORAM (real data,
+  real crypto, small trees);
+* :mod:`repro.analysis.experiments` -- regenerate any paper figure;
+* ``doram`` / ``python -m repro.cli`` -- the command line.
+
+See README.md for the tour and DESIGN.md for the paper-to-module map.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,27 @@
+"""Result processing: metrics, profiling, and experiment drivers.
+
+* :mod:`~repro.analysis.metrics` -- slowdowns, normalization, geometric
+  means (the paper's summary statistics);
+* :mod:`~repro.analysis.profiling` -- the T25mix/T33 latency profiling of
+  Section III-D / Fig. 12;
+* :mod:`~repro.analysis.experiments` -- one driver per paper table/figure,
+  shared by the CLI and the benchmark harness (results are memoised per
+  process so Figs. 9, 11 and 13 reuse each other's runs).
+"""
+
+from repro.analysis.metrics import (
+    normalized_times,
+    slowdown,
+    summarize_best_worst_gmean,
+)
+from repro.analysis.profiling import ProfileResult, profile_ratio
+from repro.analysis import experiments
+
+__all__ = [
+    "normalized_times",
+    "slowdown",
+    "summarize_best_worst_gmean",
+    "ProfileResult",
+    "profile_ratio",
+    "experiments",
+]

@@ -1,0 +1,356 @@
+"""One driver per paper table/figure.
+
+Each function reproduces the data behind one exhibit of Section V (or the
+motivation figure) and returns plain dictionaries that the CLI and the
+pytest-benchmark harness print.  Runs are memoised per process, keyed on
+the full configuration, because the figures overlap heavily -- Fig. 9's
+D-ORAM/X is the best point of Fig. 11's c sweep, Fig. 13 reuses Fig. 9's
+runs, and so on.
+
+Scale: the paper simulates 500 M-instruction traces; the default here is
+``DORAM_TRACE_LENGTH`` memory accesses per core (env-overridable).  The
+shapes these functions exist to reproduce are stable in trace length;
+the integration tests assert that.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import summarize_best_worst_gmean
+from repro.analysis.profiling import ProfileResult, profile_ratio
+from repro.core.schemes import run_scheme
+from repro.core.system import SimResult
+from repro.core.tree_split import (
+    TABLE_I,
+    split_extra_messages,
+    split_space_shares,
+)
+from repro.oram.config import OramConfig
+from repro.oram.layout import OramLayout
+from repro.sim.stats import geomean
+from repro.trace.benchmarks import BENCHMARKS
+
+#: Default memory accesses per core per run (env: DORAM_TRACE_LENGTH).
+DEFAULT_TRACE_LENGTH = int(os.environ.get("DORAM_TRACE_LENGTH", "2500"))
+
+#: All Table III benchmark codes, in the paper's order.
+ALL_BENCHMARKS: Tuple[str, ...] = tuple(b.code for b in BENCHMARKS)
+
+_run_cache: Dict[tuple, SimResult] = {}
+
+
+def cached_run(
+    scheme: str,
+    benchmark: str,
+    trace_length: Optional[int] = None,
+    segment: int = 0,
+    **overrides,
+) -> SimResult:
+    """Memoised :func:`~repro.core.schemes.run_scheme`."""
+    length = trace_length or DEFAULT_TRACE_LENGTH
+    key = (scheme, benchmark, length, segment, tuple(sorted(overrides.items())))
+    if key not in _run_cache:
+        _run_cache[key] = run_scheme(
+            scheme, benchmark, length, segment=segment, **overrides
+        )
+    return _run_cache[key]
+
+
+def clear_cache() -> None:
+    _run_cache.clear()
+
+
+def _benchmarks(benchmarks: Optional[Sequence[str]]) -> Tuple[str, ...]:
+    return tuple(benchmarks) if benchmarks else ALL_BENCHMARKS
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 -- motivation: NS-App degradation under co-run scenarios
+# ---------------------------------------------------------------------------
+
+FIG4_SCHEMES = ("baseline", "securemem", "7ns-4ch", "7ns-3ch")
+
+
+def fig4(
+    benchmarks: Optional[Sequence[str]] = None,
+    trace_length: Optional[int] = None,
+) -> Dict[str, Dict[str, float]]:
+    """NS-App execution-time slowdown vs. solo (1NS), per scheme.
+
+    Returns ``{scheme: {benchmark: slowdown, ..., "best"/"worst"/"gmean"}}``
+    -- the paper reports the three summary bars per scheme.
+    """
+    codes = _benchmarks(benchmarks)
+    out: Dict[str, Dict[str, float]] = {}
+    for scheme in FIG4_SCHEMES:
+        rows: Dict[str, float] = {}
+        for code in codes:
+            solo = cached_run("1ns", code, trace_length)
+            corun = cached_run(scheme, code, trace_length)
+            rows[code] = corun.ns_mean_time() / solo.ns_mean_time()
+        best, worst, gmean_v = summarize_best_worst_gmean(
+            [rows[c] for c in codes]
+        )
+        rows["best"], rows["worst"], rows["gmean"] = best, worst, gmean_v
+        out[scheme] = rows
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Table I -- tree-split space distribution and extra messages
+# ---------------------------------------------------------------------------
+
+
+def table1(leaf_level: int = 23) -> List[Dict[str, float]]:
+    """Analytic + layout-measured Table I rows for k = 1, 2, 3."""
+    rows: List[Dict[str, float]] = []
+    for k in (1, 2, 3):
+        shares = split_space_shares(k, leaf_level=leaf_level)
+        messages = split_extra_messages(k)
+        # Cross-check with the actual placement arithmetic on a scaled
+        # tree (same share structure, cheap to enumerate).
+        config = OramConfig(leaf_level=12 + k, treetop_levels=3,
+                            subtree_levels=5)
+        layout = OramLayout(
+            config,
+            home_targets=[(0, i) for i in range(4)],
+            home_levels=config.num_levels - k,
+            remote_targets=[(1, 0), (2, 0), (3, 0)],
+        )
+        measured = layout.channel_share()
+        rows.append({
+            "k": k,
+            "secure_share": shares["secure"],
+            "normal_share": shares["normal"],
+            "paper_secure": TABLE_I[k]["secure"],
+            "paper_normal": TABLE_I[k]["normal"],
+            "layout_secure": measured.get(0, 0.0),
+            "layout_normal": sum(
+                v for ch, v in measured.items() if ch != 0
+            ) / 3.0,
+            "extra_secure_msgs": (
+                messages.secure_short_reads
+                + messages.secure_responses
+                + messages.secure_writes
+            ),
+            "normal_msgs_min": 3 * messages.normal_min,
+            "normal_msgs_max": 3 * messages.normal_max,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 -- channel access-latency balance
+# ---------------------------------------------------------------------------
+
+
+def fig8(
+    benchmark: str = "libq",
+    trace_length: Optional[int] = None,
+) -> Dict[str, float]:
+    """Latency under channel partitioning and secure-channel contention."""
+    solo = cached_run("1ns", benchmark, trace_length)
+    four = cached_run("7ns-4ch", benchmark, trace_length)
+    three = cached_run("7ns-3ch", benchmark, trace_length)
+    doram = cached_run("doram", benchmark, trace_length)
+
+    # Secure vs normal channel latency under D-ORAM (Fig. 8(c)).
+    secure_rows = [
+        row for name, row in doram.channels.items() if name.startswith("ch0")
+    ]
+    normal_rows = [
+        row for name, row in doram.channels.items()
+        if not name.startswith("ch0") and row["reads"] > 0
+    ]
+
+    def _weighted(rows: List[Dict[str, float]], field: str) -> float:
+        total = sum(r["reads"] for r in rows)
+        if total == 0:
+            return 0.0
+        return sum(r[field] * r["reads"] for r in rows) / total
+
+    return {
+        "solo_read_ns": solo.read_latency_ns(),
+        "ns4ch_read_ns": four.read_latency_ns(),
+        "ns3ch_read_ns": three.read_latency_ns(),
+        "doram_secure_ch_read_ns": _weighted(secure_rows, "normal_read_ns"),
+        "doram_normal_ch_read_ns": _weighted(normal_rows, "normal_read_ns"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 -- headline: normalized NS execution time per scheme
+# ---------------------------------------------------------------------------
+
+
+def fig11(
+    benchmarks: Optional[Sequence[str]] = None,
+    trace_length: Optional[int] = None,
+    c_values: Sequence[int] = tuple(range(8)),
+) -> Dict[str, Dict[str, float]]:
+    """Secure-channel sharing sweep: time vs. Baseline for c = 0..7.
+
+    Returns ``{benchmark: {"c0".."c7": rel, "7ns-3ch": rel,
+    "7ns-4ch": rel, "best_c": value}}``.
+    """
+    codes = _benchmarks(benchmarks)
+    out: Dict[str, Dict[str, float]] = {}
+    for code in codes:
+        base = cached_run("baseline", code, trace_length).ns_mean_time()
+        row: Dict[str, float] = {}
+        best_c, best_time = None, None
+        for c in c_values:
+            # c = 7 admits every NS-App, which is plain D-ORAM; use the
+            # same cache entry Fig. 9 uses.
+            scheme = "doram" if c == 7 else f"doram/{c}"
+            time_c = cached_run(scheme, code, trace_length).ns_mean_time()
+            row[f"c{c}"] = time_c / base
+            if best_time is None or time_c < best_time:
+                best_c, best_time = c, time_c
+        row["7ns-3ch"] = (
+            cached_run("7ns-3ch", code, trace_length).ns_mean_time() / base
+        )
+        row["7ns-4ch"] = (
+            cached_run("7ns-4ch", code, trace_length).ns_mean_time() / base
+        )
+        row["best_c"] = float(best_c)
+        out[code] = row
+    return out
+
+
+def fig9(
+    benchmarks: Optional[Sequence[str]] = None,
+    trace_length: Optional[int] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Normalized execution time: D-ORAM, D-ORAM/X, D-ORAM+1, D-ORAM+1/4.
+
+    D-ORAM/X is the best point of the Fig. 11 sweep (the paper's
+    definition), so this reuses those runs through the cache.
+    """
+    codes = _benchmarks(benchmarks)
+    sweep = fig11(codes, trace_length)
+    out: Dict[str, Dict[str, float]] = {}
+    for code in codes:
+        base = cached_run("baseline", code, trace_length).ns_mean_time()
+        row = {
+            "baseline": 1.0,
+            "doram": cached_run("doram", code, trace_length).ns_mean_time() / base,
+            "doram_x": min(
+                sweep[code][f"c{c}"] for c in range(8)
+            ),
+            "doram+1": cached_run("doram+1", code, trace_length).ns_mean_time() / base,
+            "doram+1/4": cached_run(
+                "doram+1/4", code, trace_length
+            ).ns_mean_time() / base,
+        }
+        out[code] = row
+    gmean_row = {
+        key: geomean([out[code][key] for code in codes])
+        for key in ("baseline", "doram", "doram_x", "doram+1", "doram+1/4")
+    }
+    out["gmean"] = gmean_row
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 -- tree-expansion overhead (k = 1..3)
+# ---------------------------------------------------------------------------
+
+
+def fig10(
+    benchmarks: Optional[Sequence[str]] = None,
+    trace_length: Optional[int] = None,
+    k_values: Sequence[int] = (1, 2, 3),
+) -> Dict[str, Dict[str, float]]:
+    """Execution time of D-ORAM+k relative to D-ORAM, plus the average
+    added overhead per k (the paper: +1.02 %, +2.01 %, +3.29 %)."""
+    codes = _benchmarks(benchmarks)
+    out: Dict[str, Dict[str, float]] = {}
+    for code in codes:
+        base = cached_run("doram", code, trace_length).ns_mean_time()
+        row = {"doram": 1.0}
+        for k in k_values:
+            row[f"k{k}"] = (
+                cached_run(f"doram+{k}", code, trace_length).ns_mean_time()
+                / base
+            )
+        out[code] = row
+    avg_row = {"doram": 1.0}
+    for k in k_values:
+        avg_row[f"k{k}"] = geomean([out[code][f"k{k}"] for code in codes])
+    out["gmean"] = avg_row
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 -- profiling-guided c selection
+# ---------------------------------------------------------------------------
+
+
+def fig12(
+    benchmarks: Optional[Sequence[str]] = None,
+    trace_length: Optional[int] = None,
+) -> Dict[str, Dict[str, object]]:
+    """Per benchmark: profiled ratio (different segment) vs. measured best c.
+
+    ``agrees`` is True when the rule's category (small: c < 4, large:
+    c >= 4) matches the sweep's best configuration.
+    """
+    codes = _benchmarks(benchmarks)
+    sweep = fig11(codes, trace_length)
+    length = trace_length or DEFAULT_TRACE_LENGTH
+    out: Dict[str, Dict[str, object]] = {}
+    for code in codes:
+        profile: ProfileResult = profile_ratio(
+            code, trace_length=length, segment=1
+        )
+        best_c = int(sweep[code]["best_c"])
+        # The measured preference compares the average of the small-c
+        # half of the sweep against the large-c half; with the nearly
+        # flat sweeps some benchmarks produce, the raw argmin is noise
+        # while the half-means capture the paper's "prefers fewer/more
+        # copies" categories robustly.
+        small_mean = sum(sweep[code][f"c{c}"] for c in range(4)) / 4
+        large_mean = sum(sweep[code][f"c{c}"] for c in range(4, 8)) / 4
+        measured_category = "small" if small_mean < large_mean else "large"
+        out[code] = {
+            "ratio": profile.ratio,
+            "predicted": profile.decision.category,
+            "best_c": best_c,
+            "measured": measured_category,
+            "agrees": profile.decision.category == measured_category,
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 -- NS access-latency reduction
+# ---------------------------------------------------------------------------
+
+
+def fig13(
+    benchmarks: Optional[Sequence[str]] = None,
+    trace_length: Optional[int] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Read/write NS latency of D-ORAM+1 and D-ORAM/4 vs. Baseline."""
+    codes = _benchmarks(benchmarks)
+    out: Dict[str, Dict[str, float]] = {}
+    for code in codes:
+        base = cached_run("baseline", code, trace_length)
+        row: Dict[str, float] = {}
+        for label, scheme in (("doram+1", "doram+1"), ("doram/4", "doram/4")):
+            run = cached_run(scheme, code, trace_length)
+            row[f"{label}_read"] = (
+                run.read_latency_ns() / base.read_latency_ns()
+            )
+            row[f"{label}_write"] = (
+                run.write_latency_ns() / base.write_latency_ns()
+            )
+        out[code] = row
+    out["gmean"] = {
+        key: geomean([out[code][key] for code in codes])
+        for key in next(iter(out.values())).keys()
+    }
+    return out

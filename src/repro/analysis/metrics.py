@@ -1,0 +1,37 @@
+"""Summary metrics used by the result figures."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.sim.stats import geomean
+
+
+def slowdown(value: float, reference: float) -> float:
+    """``value / reference`` with a guard against empty references."""
+    if reference <= 0:
+        raise ValueError("reference must be positive")
+    return value / reference
+
+
+def normalized_times(
+    times: Mapping[str, float], reference_key: str
+) -> Dict[str, float]:
+    """Normalize a ``{scheme: time}`` mapping to one scheme (= 1.0)."""
+    if reference_key not in times:
+        raise KeyError(f"reference {reference_key!r} missing")
+    ref = times[reference_key]
+    return {key: slowdown(value, ref) for key, value in times.items()}
+
+
+def summarize_best_worst_gmean(
+    values: Iterable[float],
+) -> Tuple[float, float, float]:
+    """(best, worst, gmean) of a slowdown population -- Fig. 4's bars.
+
+    "Best" is the smallest slowdown (least degradation).
+    """
+    vals: List[float] = list(values)
+    if not vals:
+        raise ValueError("empty population")
+    return min(vals), max(vals), geomean(vals)

@@ -1,0 +1,19 @@
+"""Buffer-on-board (BOB) memory architecture.
+
+In BOB (Fig. 1(b)/Fig. 5), each channel pairs a main controller on the
+processor with a simple controller on the motherboard, connected by a
+narrow, fast, full-duplex *serial link*; the simple controller drives one
+to four DRAM *sub-channels* over conventional parallel buses.  Requests
+and responses cross the link as packets.
+
+This package models the link (serialization + the paper's 15 ns buffer
+logic/link latency) and the BOB channel plumbing, including the in-flight
+window that back-pressures the processor side.  The secure delegator of
+D-ORAM plugs into the secure channel's simple-controller side
+(:mod:`repro.core.delegator`).
+"""
+
+from repro.bob.link import SerialLink, LinkParams
+from repro.bob.channel import BobChannel
+
+__all__ = ["SerialLink", "LinkParams", "BobChannel"]

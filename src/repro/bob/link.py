@@ -1,0 +1,75 @@
+"""Serial link model.
+
+A simplex FIFO pipe: packets serialize onto the link at the configured
+bandwidth (the paper sets one serial link's peak comparable to one
+DDR3-1600 parallel channel, 12.8 GB/s) and arrive after a fixed
+propagation/buffering latency (half of the paper's 15 ns round-trip
+figure per direction, the other half charged at the BOB control logic by
+the channel model).  Two instances form a full-duplex BOB link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.engine import Engine, TICKS_PER_NS, ns
+from repro.sim.stats import StatSet
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Bandwidth and latency of one link direction."""
+
+    #: Sustained bandwidth in bytes per nanosecond (12.8 = one DDR3-1600
+    #: channel equivalent).
+    bytes_per_ns: float = 12.8
+    #: One-way propagation + buffering latency in ticks.  The paper adds
+    #: 15 ns for "link bus and BoB control" overall; we charge half per
+    #: direction so a round trip pays the full figure.
+    latency: int = ns(7.5)
+
+    def serialization(self, nbytes: int) -> int:
+        """Ticks to clock ``nbytes`` onto the link."""
+        if nbytes <= 0:
+            raise ValueError("packet must have positive size")
+        return max(1, int(round(nbytes / self.bytes_per_ns * TICKS_PER_NS)))
+
+
+class SerialLink:
+    """One direction of a BOB link: FIFO serialization, fixed latency."""
+
+    def __init__(self, engine: Engine, name: str,
+                 params: LinkParams = LinkParams()) -> None:
+        self.engine = engine
+        self.name = name
+        self.params = params
+        self._busy_until = 0
+        self.stats = StatSet(name)
+
+    def send(self, nbytes: int, deliver: Callable[[int], None]) -> int:
+        """Queue a packet; ``deliver(time)`` fires at the far end.
+
+        Returns the delivery time (useful for tests).  Packets occupy the
+        link in FIFO order; a saturated link queues without bound, which
+        callers bound via their in-flight windows.
+        """
+        ser = self.params.serialization(nbytes)
+        start = max(self.engine.now, self._busy_until)
+        self._busy_until = start + ser
+        arrive = self._busy_until + self.params.latency
+        self.stats.counter("packets").add()
+        self.stats.counter("bytes").add(nbytes)
+        self.engine.at(arrive, lambda t=arrive: deliver(t))
+        return arrive
+
+    def queue_delay(self) -> int:
+        """Current backlog delay a new packet would see (ticks)."""
+        return max(0, self._busy_until - self.engine.now)
+
+    def utilization(self) -> float:
+        """Approximate busy fraction: bytes clocked / elapsed capacity."""
+        if self.engine.now == 0:
+            return 0.0
+        capacity = self.params.bytes_per_ns * self.engine.now / TICKS_PER_NS
+        return min(1.0, self.stats.counter("bytes").value / capacity)

@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro.cli`` or the ``doram`` script.
+
+Subcommands
+-----------
+``run SCHEME``       simulate one configuration and print its summary
+``exp EXPERIMENT``   regenerate a paper table/figure (fig4, table1, fig8,
+                     fig9, fig10, fig11, fig12, fig13, or ``all``)
+``profile BENCH``    print the T25mix/T33 profiling decision for a benchmark
+``schemes``          list the recognized scheme names
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis import experiments
+from repro.analysis.profiling import profile_ratio
+from repro.core.schemes import SCHEMES, run_scheme
+from repro.trace.benchmarks import BENCHMARKS
+
+
+def _format_table(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(headers))
+    ]
+    def fmt(row: Sequence[object]) -> str:
+        return "  ".join(str(v).rjust(w) for v, w in zip(row, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)
+
+
+def _print_keyed(title: str, data: Dict[str, Dict[str, object]]) -> None:
+    print(f"\n== {title} ==")
+    first = next(iter(data.values()))
+    headers = ["bench"] + list(first.keys())
+    rows = []
+    for key, row in data.items():
+        rows.append([key] + [
+            f"{v:.3f}" if isinstance(v, float) else str(v)
+            for v in row.values()
+        ])
+    print(_format_table(headers, rows))
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = run_scheme(args.scheme, args.benchmark, args.trace_length)
+    print(f"scheme={args.scheme} benchmark={args.benchmark} "
+          f"trace={args.trace_length}")
+    print(f"  NS mean execution time : {result.ns_mean_ns():,.0f} ns")
+    print(f"  NS read latency        : {result.read_latency_ns():.1f} ns")
+    print(f"  NS write latency       : {result.write_latency_ns():.1f} ns")
+    for key, value in sorted(result.s_app.items()):
+        print(f"  s_app.{key:<22}: {value:,.2f}")
+    print("  channels:")
+    for name, row in result.channels.items():
+        print(f"    {name:<7} util={row['utilization']:.2f} "
+              f"rowhit={row['row_hit_rate']:.2f} "
+              f"reads={int(row['reads'])} writes={int(row['writes'])}")
+    print(f"  simulated {result.end_time / 16 / 1000:.1f} us, "
+          f"{result.events:,} events")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    profile = profile_ratio(args.benchmark, trace_length=args.trace_length)
+    print(f"benchmark={args.benchmark}")
+    print(f"  solo latency   : {profile.latency_solo_ns:.1f} ns")
+    print(f"  T25            : {profile.t25:.2f}")
+    print(f"  T25mix         : {profile.t25mix:.2f}")
+    print(f"  T33            : {profile.t33:.2f}")
+    print(f"  ratio          : {profile.ratio:.3f}")
+    print(f"  category       : {profile.decision.category} "
+          f"(suggest c={profile.decision.suggested_c})")
+    return 0
+
+
+_EXPERIMENTS = (
+    "fig4", "table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+)
+
+
+def cmd_exp(args: argparse.Namespace) -> int:
+    names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+    length = args.trace_length
+    for name in names:
+        if name == "fig4":
+            _print_keyed("Fig. 4: NS slowdown vs solo (per scheme)",
+                         experiments.fig4(benchmarks, length))
+        elif name == "table1":
+            rows = experiments.table1()
+            headers = list(rows[0].keys())
+            print("\n== Table I: tree-split space/messages ==")
+            print(_format_table(
+                headers,
+                [[f"{v:.3f}" if isinstance(v, float) else str(v)
+                  for v in r.values()] for r in rows],
+            ))
+        elif name == "fig8":
+            data = experiments.fig8(benchmarks[0] if benchmarks else "libq",
+                                    length)
+            print("\n== Fig. 8: channel access latency (ns) ==")
+            for key, value in data.items():
+                print(f"  {key:<26}: {value:.1f}")
+        elif name == "fig9":
+            _print_keyed("Fig. 9: normalized NS execution time",
+                         experiments.fig9(benchmarks, length))
+        elif name == "fig10":
+            _print_keyed("Fig. 10: D-ORAM+k vs D-ORAM",
+                         experiments.fig10(benchmarks, length))
+        elif name == "fig11":
+            _print_keyed("Fig. 11: secure-channel sharing sweep",
+                         experiments.fig11(benchmarks, length))
+        elif name == "fig12":
+            _print_keyed("Fig. 12: profiled ratio vs best c",
+                         experiments.fig12(benchmarks, length))
+        elif name == "fig13":
+            _print_keyed("Fig. 13: NS access latency vs Baseline",
+                         experiments.fig13(benchmarks, length))
+        else:
+            print(f"unknown experiment {name}", file=sys.stderr)
+            return 2
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate_report
+
+    benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+    text = generate_report(benchmarks, args.trace_length)
+    if args.output:
+        with open(args.output, "w") as fp:
+            fp.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_schemes(_args: argparse.Namespace) -> int:
+    print("canonical schemes:", ", ".join(SCHEMES))
+    print("parameterized    : doram+K, doram/C, doram+K/C")
+    print("benchmarks       :",
+          ", ".join(f"{b.code}({b.mpki})" for b in BENCHMARKS))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="doram",
+        description="D-ORAM (HPCA 2018) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one scheme")
+    p_run.add_argument("scheme")
+    p_run.add_argument("--benchmark", default="libq")
+    p_run.add_argument("--trace-length", type=int,
+                       default=experiments.DEFAULT_TRACE_LENGTH)
+    p_run.set_defaults(func=cmd_run)
+
+    p_exp = sub.add_parser("exp", help="regenerate a paper table/figure")
+    p_exp.add_argument("experiment", choices=_EXPERIMENTS + ("all",))
+    p_exp.add_argument("--benchmarks", default="",
+                       help="comma-separated benchmark codes (default: all)")
+    p_exp.add_argument("--trace-length", type=int, default=None)
+    p_exp.set_defaults(func=cmd_exp)
+
+    p_prof = sub.add_parser("profile", help="T25mix/T33 profiling")
+    p_prof.add_argument("benchmark")
+    p_prof.add_argument("--trace-length", type=int,
+                        default=experiments.DEFAULT_TRACE_LENGTH)
+    p_prof.set_defaults(func=cmd_profile)
+
+    p_schemes = sub.add_parser("schemes", help="list schemes/benchmarks")
+    p_schemes.set_defaults(func=cmd_schemes)
+
+    p_report = sub.add_parser(
+        "report", help="generate the paper-vs-measured EXPERIMENTS report"
+    )
+    p_report.add_argument("--benchmarks", default="")
+    p_report.add_argument("--trace-length", type=int, default=None)
+    p_report.add_argument("--output", default="",
+                          help="write to a file instead of stdout")
+    p_report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

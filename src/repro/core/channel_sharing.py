@@ -1,0 +1,76 @@
+"""Secure-channel sharing policy (Section III-D, D-ORAM/c).
+
+The secure channel serves both the delegated ORAM and any NS-App pages
+allocated on it, so it is the slowest channel (Fig. 8(c)).  D-ORAM/c
+throttles that contention by letting only ``c`` of the NS-Apps allocate
+memory on channel 0; the remaining apps stripe over the three normal
+channels only.
+
+The right ``c`` is workload-dependent (Fig. 11).  The paper's rule: profile
+the NS memory-latency slowdowns ``T_25mix`` (all four channels, S-App
+active) and ``T_33`` (three normal channels only) on a *different trace
+segment* and compare ``r = T_25mix / T_33`` -- ``r > 1`` means the secure
+channel hurts more than losing a channel, so pick a small ``c``; ``r < 1``
+means bandwidth matters more, pick a large ``c`` (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+
+def sharing_targets(
+    num_ns_apps: int,
+    c_limit: int,
+    channels: Sequence[int] = (0, 1, 2, 3),
+    secure_channel: int = 0,
+) -> Dict[int, Tuple[int, ...]]:
+    """Channel set per NS-App index under D-ORAM/c.
+
+    The first ``c_limit`` apps (by index) may use every channel including
+    the secure one; the rest use only normal channels.  With homogeneous
+    multi-programmed copies (the paper's setup) the choice of *which*
+    apps get the secure channel is immaterial.
+    """
+    if not 0 <= c_limit <= num_ns_apps:
+        raise ValueError("c_limit out of range")
+    if secure_channel not in channels:
+        raise ValueError("secure channel not in channel list")
+    normal = tuple(ch for ch in channels if ch != secure_channel)
+    if not normal:
+        raise ValueError("need at least one normal channel")
+    full = tuple(channels)
+    return {
+        app: (full if app < c_limit else normal)
+        for app in range(num_ns_apps)
+    }
+
+
+@dataclass(frozen=True)
+class SharingDecision:
+    """Outcome of the profiling rule."""
+
+    ratio: float
+    #: "small" (c < 4) or "large" (c >= 4), Fig. 12's two categories.
+    category: str
+    #: Concrete suggestion used by D-ORAM/X when no sweep is affordable.
+    suggested_c: int
+
+
+def recommend_c(ratio: float, num_ns_apps: int = 7) -> SharingDecision:
+    """Apply the T25mix/T33 rule (Section V-C).
+
+    ``ratio > 1``: the loaded secure channel is the bottleneck -- keep
+    most NS-Apps off it (small ``c``).  ``ratio < 1``: total bandwidth
+    dominates -- let most apps use all four channels (large ``c``).
+    """
+    if ratio <= 0:
+        raise ValueError("ratio must be positive")
+    if ratio > 1.0:
+        category = "small"
+        suggested = min(1, num_ns_apps)
+    else:
+        category = "large"
+        suggested = max(min(num_ns_apps - 2, num_ns_apps), 0)
+    return SharingDecision(ratio=ratio, category=category, suggested_c=suggested)

@@ -1,0 +1,136 @@
+"""System configuration (the paper's Table II plus scheme knobs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.bob.link import LinkParams
+from repro.cpu.core import CoreParams
+from repro.dram.timing import ChannelParams, DDR3Timing, DDR3_1600, DEFAULT_CHANNEL_PARAMS
+from repro.oram.config import OramConfig
+
+#: Fixed secure-packet size: 1 type bit + 63 address bits + 512 data bits
+#: (Section III-B / Fig. 6).
+PACKET_BYTES = 72
+
+#: Short read packet used by the tree split: data field omitted
+#: (Section III-C).
+SHORT_PACKET_BYTES = 16
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to instantiate one simulated system.
+
+    Scheme-independent hardware defaults follow Table II; the scheme
+    builders in :mod:`repro.core.schemes` override the policy fields.
+    """
+
+    # -- workload ---------------------------------------------------------
+    benchmark: str = "libq"
+    trace_length: int = 8000
+    num_ns_apps: int = 7
+    has_s_app: bool = True
+    #: Number of protected applications; each gets its own ORAM tree on
+    #: the secure channel, all delegated to the one SD (Section III-C's
+    #: "two S-Apps and two NS-Apps" capacity scenario).  Only the
+    #: delegated (D-ORAM) placement supports more than one.
+    num_s_apps: int = 1
+    #: Trace segment (Fig. 12 profiles on a different segment).
+    segment: int = 0
+
+    # -- architecture -------------------------------------------------------
+    #: "direct" = 4 parallel channels at the CPU; "bob" = 4 serial-link
+    #: channels.  The default instantiates D-ORAM itself (BOB + delegated
+    #: Path ORAM); the scheme builders override for the baselines.
+    arch: str = "bob"
+    num_channels: int = 4
+    #: Sub-channels per BOB channel; the secure channel gets 4, normal
+    #: channels 1 (Section IV).
+    secure_subchannels: int = 4
+    normal_subchannels: int = 1
+    secure_channel: int = 0
+
+    # -- protection --------------------------------------------------------
+    #: "none" | "path" (ORAM) | "securemem" (ObfusMem/InvisiMem-like).
+    protection: str = "path"
+    #: Where the ORAM engine runs: "onchip" (baseline) or "delegated".
+    oram_placement: str = "delegated"
+    #: D-ORAM+k: extra tree levels relocated to normal channels.
+    split_k: int = 0
+    #: D-ORAM/c: NS-Apps allowed to allocate on the secure channel
+    #: (None = all of them).
+    c_limit: Optional[int] = None
+    #: Channels the NS-Apps may use (None = all); 7NS-3ch passes (1,2,3).
+    ns_channels: Optional[Tuple[int, ...]] = None
+    #: Fixed-rate gap between ORAM requests, CPU cycles (III-B step 2).
+    t_cycles: int = 50
+    #: Bandwidth preallocation threshold for shared channels ([39]; IV).
+    secure_share: float = 0.5
+    #: Extra SD processing latency per packet, ns.
+    sd_process_ns: float = 5.0
+    #: Fork Path read merging [44] in the ORAM engine (ablation knob;
+    #: the paper's configurations leave it off).
+    fork_path: bool = False
+    #: Coalesce split-tree short read packets per channel -- the paper's
+    #: footnote-1 future work ("some read packets may be merged").
+    merge_short_reads: bool = False
+
+    # -- components ---------------------------------------------------------
+    oram: OramConfig = field(default_factory=OramConfig)
+    dram_timing: DDR3Timing = field(default_factory=lambda: DDR3_1600)
+    channel_params: ChannelParams = field(
+        default_factory=lambda: DEFAULT_CHANNEL_PARAMS
+    )
+    core_params: CoreParams = field(default_factory=CoreParams)
+    link_params: LinkParams = field(default_factory=LinkParams)
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.arch not in ("direct", "bob"):
+            raise ValueError(f"unknown arch {self.arch!r}")
+        if self.protection not in ("none", "path", "securemem"):
+            raise ValueError(f"unknown protection {self.protection!r}")
+        if self.oram_placement not in ("onchip", "delegated"):
+            raise ValueError(f"unknown placement {self.oram_placement!r}")
+        if self.num_ns_apps < 0:
+            raise ValueError("num_ns_apps must be >= 0")
+        if self.c_limit is not None and not 0 <= self.c_limit <= self.num_ns_apps:
+            raise ValueError("c_limit out of range")
+        if self.split_k < 0:
+            raise ValueError("split_k must be >= 0")
+        if not 0.0 < self.secure_share < 1.0:
+            raise ValueError("secure_share must be in (0, 1)")
+        if self.arch == "direct" and self.oram_placement == "delegated":
+            raise ValueError("delegation requires the BOB architecture")
+        if self.split_k > 0 and self.oram_placement != "delegated":
+            raise ValueError("tree split is a D-ORAM (delegated) feature")
+        if self.num_s_apps < 1:
+            raise ValueError("num_s_apps must be >= 1")
+        if (self.num_s_apps > 1
+                and (self.protection != "path"
+                     or self.oram_placement != "delegated")):
+            raise ValueError("multiple S-Apps require delegated Path ORAM")
+
+    # ------------------------------------------------------------------
+    @property
+    def effective_s_apps(self) -> int:
+        return self.num_s_apps if self.has_s_app else 0
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_ns_apps + self.effective_s_apps
+
+    def effective_oram(self) -> OramConfig:
+        """ORAM geometry after D-ORAM+k expansion (4 -> 4*2^k GB)."""
+        if self.split_k == 0:
+            return self.oram
+        return OramConfig(
+            leaf_level=self.oram.leaf_level + self.split_k,
+            bucket_size=self.oram.bucket_size,
+            block_bytes=self.oram.block_bytes,
+            treetop_levels=self.oram.treetop_levels,
+            subtree_levels=self.oram.subtree_levels,
+            utilization=self.oram.utilization,
+        )

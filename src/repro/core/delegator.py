@@ -1,0 +1,374 @@
+"""The secure delegator (SD) and the access sequencer (Section III-B).
+
+The SD lives next to the secure channel's simple controller.  Triggered by
+an encrypted 72 B packet from the processor, it runs the Path ORAM
+protocol against the untrusted sub-channels, returns a 72 B response when
+the read phase completes, and overlaps the write phase with whatever the
+processor does next.  A request arriving during the write phase is
+buffered and serviced right after it (the paper's timing-control rule).
+
+With a split tree (D-ORAM+k) some path blocks live on normal channels.
+The SD cannot reach them directly -- it emits explicit messages that the
+main controllers forward (Section III-C): per remote block, a short read
+packet up the secure link, a forwarded short read down the target normal
+link, the 72 B data response back up the normal link and down the secure
+link.  Writes ship the 72 B block the same way without a return trip.
+These are the "extra messages" of Table I, and the delegator counts them
+so the reproduction can check itself against that table.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.bob.channel import BobChannel
+from repro.core.config import PACKET_BYTES, SHORT_PACKET_BYTES
+from repro.dram.channel import Channel
+from repro.dram.commands import MemRequest, OpType, TrafficClass
+from repro.oram.controller import BlockSink, OramController
+from repro.oram.layout import BlockPlacement
+from repro.sim.engine import Engine, ns
+from repro.sim.stats import StatSet
+
+
+class OramSequencer:
+    """Serializes ORAM accesses through the SD's single engine.
+
+    Protocol rhythm (identical for the delegated and on-chip engines):
+    read phase -> respond -> write phase -> (buffered request, if any).
+
+    One SD may host several ORAM *trees* (one per S-App: the III-C
+    motivation runs "two S-Apps and two NS-Apps"); each tree has its own
+    :class:`~repro.oram.controller.OramController`, but the engine
+    processes one access at a time across all of them, so requests are
+    arbitrated FIFO here.
+    """
+
+    def __init__(self, controller: OramController) -> None:
+        self.controller = controller
+        self._buffered: Deque[Tuple[OramController, Optional[int],
+                                    Callable[[int], None]]] = deque()
+        self._active_respond: Optional[Callable[[int], None]] = None
+        self._active_controller: Optional[OramController] = None
+
+    @property
+    def busy(self) -> bool:
+        return (
+            self._active_controller is not None
+            or self._active_respond is not None
+            or self.controller.busy
+        )
+
+    def submit(
+        self,
+        block_id: Optional[int],
+        respond: Callable[[int], None],
+        controller: Optional[OramController] = None,
+    ) -> None:
+        """Queue one access; ``respond(t)`` fires when its read phase ends.
+
+        ``controller`` selects which tree the access targets (defaults to
+        the sequencer's primary tree).
+        """
+        controller = controller or self.controller
+        if self.busy:
+            self._buffered.append((controller, block_id, respond))
+            return
+        self._start(controller, block_id, respond)
+
+    def _start(
+        self,
+        controller: OramController,
+        block_id: Optional[int],
+        respond: Callable[[int], None],
+    ) -> None:
+        self._active_respond = respond
+        self._active_controller = controller
+        controller.begin_read(block_id, self._read_done)
+
+    def _read_done(self, time: int) -> None:
+        respond = self._active_respond
+        controller = self._active_controller
+        self._active_respond = None
+        controller.begin_write(self._write_done)
+        if respond is not None:
+            respond(time)
+
+    def _write_done(self, _time: int) -> None:
+        self._active_controller = None
+        if self._buffered and not self.busy:
+            controller, block_id, respond = self._buffered.popleft()
+            self._start(controller, block_id, respond)
+
+
+class DelegatorSink(BlockSink):
+    """Routes path blocks: local sub-channels direct, remote via messages."""
+
+    def __init__(self, delegator: "SecureDelegator") -> None:
+        self.delegator = delegator
+
+    def try_issue(self, placement, op, on_complete) -> bool:
+        if placement.remote:
+            return self.delegator.try_remote(placement, op, on_complete)
+        return self.delegator.try_local(placement, op, on_complete)
+
+    def notify_on_space(self, callback: Callable[[], None]) -> None:
+        self.delegator.notify_on_space(callback)
+
+
+class SecureDelegator:
+    """The on-board secure engine of D-ORAM."""
+
+    #: Outstanding remote (cross-channel) block messages allowed at once.
+    REMOTE_WINDOW = 16
+
+    def __init__(
+        self,
+        engine: Engine,
+        secure_bob: BobChannel,
+        normal_bobs: Dict[int, BobChannel],
+        process_ns: float = 5.0,
+        app_id: int = -2,
+        name: str = "sd",
+        merge_short_reads: bool = False,
+    ) -> None:
+        """``merge_short_reads`` enables the paper's footnote-1 future
+        work: short read packets destined for the same normal channel
+        within one ORAM access are coalesced into a single packet per
+        hop (one address list instead of 4k separate headers), cutting
+        the split-tree message count on both links."""
+        self.engine = engine
+        self.secure_bob = secure_bob
+        self.normal_bobs = normal_bobs
+        self.process_ticks = ns(process_ns)
+        self.app_id = app_id
+        self.stats = StatSet(name)
+        self.sink = DelegatorSink(self)
+        #: Set by the system builder once the controller exists (the
+        #: controller needs the sink, the sink needs the delegator).
+        self.sequencer: Optional[OramSequencer] = None
+        self._remote_outstanding = 0
+        self._space_waiters: List[Callable[[], None]] = []
+        self.merge_short_reads = merge_short_reads
+        #: Pending read batches per channel: [(placement, cb), ...].
+        self._merge_buffers: Dict[int, List] = {}
+        self._merge_flush_scheduled = False
+
+    # ------------------------------------------------------------------
+    # Request entry (packets from the processor)
+    # ------------------------------------------------------------------
+    def receive_request(
+        self,
+        block_id: Optional[int],
+        respond: Callable[[int], None],
+        controller=None,
+    ) -> None:
+        """A decrypted request packet is ready for processing.
+
+        ``respond(t)`` is invoked when the read phase finishes; the caller
+        (the CPU-side backend) ships the response packet up the link.
+        ``controller`` selects the target tree when the SD hosts several
+        S-Apps (defaults to the primary).
+        """
+        if self.sequencer is None:
+            raise RuntimeError("delegator not wired to a controller")
+        self.stats.counter("requests").add()
+        # Decrypt + authenticate + position-map consultation.
+        self.engine.after(
+            self.process_ticks,
+            lambda: self.sequencer.submit(block_id, respond, controller),
+        )
+
+    # ------------------------------------------------------------------
+    # Local sub-channel traffic
+    # ------------------------------------------------------------------
+    def try_local(
+        self,
+        placement: BlockPlacement,
+        op: OpType,
+        on_complete: Callable[[int], None],
+    ) -> bool:
+        sub = self.secure_bob.subchannels[placement.subchannel]
+        if not sub.can_accept(op):
+            return False
+        sub.enqueue(
+            MemRequest(
+                op,
+                placement.channel,
+                placement.subchannel,
+                placement.bank,
+                placement.row,
+                placement.col,
+                app_id=self.app_id,
+                traffic=TrafficClass.SECURE,
+                on_complete=on_complete,
+            )
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Remote split-tree traffic (Section III-C)
+    # ------------------------------------------------------------------
+    def try_remote(
+        self,
+        placement: BlockPlacement,
+        op: OpType,
+        on_complete: Callable[[int], None],
+    ) -> bool:
+        if self._remote_outstanding >= self.REMOTE_WINDOW:
+            return False
+        bob = self.normal_bobs[placement.channel]
+        self._remote_outstanding += 1
+        if op is OpType.READ:
+            self.stats.counter("remote_read_blocks").add()
+            self.stats.counter(f"ch{placement.channel}_reads").add()
+            if self.merge_short_reads:
+                # Footnote-1 future work: coalesce this access's short
+                # reads per target channel; flushed once the current
+                # issue burst settles (same-tick event).
+                self._merge_buffers.setdefault(
+                    placement.channel, []
+                ).append((placement, on_complete))
+                if not self._merge_flush_scheduled:
+                    self._merge_flush_scheduled = True
+                    self.engine.after(0, self._flush_merged)
+                return True
+            self.stats.counter("remote_short_reads").add()
+            # SD -> CPU (short read, up the secure link) ...
+            self.secure_bob.send_up(
+                SHORT_PACKET_BYTES,
+                lambda _t: self._forward_read(bob, placement, on_complete),
+            )
+        else:
+            self.stats.counter("remote_writes").add()
+            self.stats.counter(f"ch{placement.channel}_writes").add()
+            # SD -> CPU (72 B write packet carrying the block) ...
+            self.secure_bob.send_up(
+                PACKET_BYTES,
+                lambda _t: self._forward_write(bob, placement, on_complete),
+            )
+        return True
+
+    def _flush_merged(self) -> None:
+        """Ship one coalesced read packet per buffered normal channel."""
+        self._merge_flush_scheduled = False
+        buffers, self._merge_buffers = self._merge_buffers, {}
+        for channel, entries in sorted(buffers.items()):
+            bob = self.normal_bobs[channel]
+            # Header + one extra 8 B address per additional block.
+            nbytes = SHORT_PACKET_BYTES + 8 * (len(entries) - 1)
+            self.stats.counter("remote_short_reads").add()
+            self.secure_bob.send_up(
+                nbytes,
+                lambda _t, b=bob, e=entries, n=nbytes:
+                    self._forward_merged(b, e, n),
+            )
+
+    def _forward_merged(self, bob: BobChannel, entries, nbytes: int) -> None:
+        """CPU forwards the coalesced packet; blocks fan out at DRAM."""
+        def arrived(_t: int) -> None:
+            for placement, on_complete in entries:
+                self._remote_dram(
+                    bob, placement, OpType.READ,
+                    lambda t2, cb=on_complete: self._return_read(bob, cb),
+                )
+
+        bob.send_down(nbytes, arrived)
+
+    def _forward_read(
+        self,
+        bob: BobChannel,
+        placement: BlockPlacement,
+        on_complete: Callable[[int], None],
+    ) -> None:
+        # ... CPU -> normal channel (short read, down its link) ...
+        bob.send_down(
+            SHORT_PACKET_BYTES,
+            lambda _t: self._remote_dram(
+                bob, placement, OpType.READ,
+                lambda t2: self._return_read(bob, on_complete),
+            ),
+        )
+
+    def _return_read(
+        self, bob: BobChannel, on_complete: Callable[[int], None]
+    ) -> None:
+        # ... DRAM read done: normal channel -> CPU (72 B response) ...
+        bob.send_up(
+            PACKET_BYTES,
+            lambda _t: self.secure_bob.send_down(
+                PACKET_BYTES,
+                lambda t2: self._remote_done(on_complete, t2),
+            ),
+        )
+
+    def _forward_write(
+        self,
+        bob: BobChannel,
+        placement: BlockPlacement,
+        on_complete: Callable[[int], None],
+    ) -> None:
+        bob.send_down(
+            PACKET_BYTES,
+            lambda _t: self._remote_dram(
+                bob, placement, OpType.WRITE,
+                lambda t2: self._remote_done(on_complete, t2),
+            ),
+        )
+
+    def _remote_dram(
+        self,
+        bob: BobChannel,
+        placement: BlockPlacement,
+        op: OpType,
+        on_complete: Callable[[int], None],
+    ) -> None:
+        """Queue the block access at the normal channel's sub-channel."""
+        sub = bob.subchannels[placement.subchannel]
+        req = MemRequest(
+            op,
+            placement.channel,
+            placement.subchannel,
+            placement.bank,
+            placement.row,
+            placement.col,
+            app_id=self.app_id,
+            traffic=TrafficClass.SECURE,
+            on_complete=on_complete,
+        )
+        self._enqueue_or_hold(sub, req)
+
+    def _enqueue_or_hold(self, sub: Channel, req: MemRequest) -> None:
+        if sub.can_accept(req.op):
+            sub.enqueue(req)
+        else:
+            sub.notify_on_space(lambda: self._enqueue_or_hold(sub, req))
+
+    def _remote_done(
+        self, on_complete: Callable[[int], None], time: int
+    ) -> None:
+        self._remote_outstanding -= 1
+        self._wake_waiters()
+        on_complete(time)
+
+    # ------------------------------------------------------------------
+    def notify_on_space(self, callback: Callable[[], None]) -> None:
+        """One-shot wake when local queues or the remote window free up."""
+        fired = [False]
+
+        def once() -> None:
+            if not fired[0]:
+                fired[0] = True
+                callback()
+
+        for sub in self.secure_bob.subchannels:
+            sub.notify_on_space(once)
+        self._space_waiters.append(once)
+
+    def _wake_waiters(self) -> None:
+        if not self._space_waiters:
+            return
+        waiters, self._space_waiters = self._space_waiters, []
+        for callback in waiters:
+            callback()

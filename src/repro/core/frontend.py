@@ -1,0 +1,205 @@
+"""The on-chip secure engine: S-App memory port + fixed-rate emission.
+
+The S-App core sees an ordinary :class:`~repro.cpu.core.MemoryPort`; the
+frontend queues its LLC misses and emits exactly one ORAM request every
+``t`` cycles after the previous response (a dummy when the queue is
+empty), per Section III-B.  Emission goes to a *backend*:
+
+* :class:`DelegatorBackend` -- D-ORAM: seal a 72 B packet, ship it down
+  the secure channel's serial link to the SD, receive the 72 B response
+  on the up link.
+* :class:`OnChipBackend` -- the Path ORAM baseline: the engine and ORAM
+  controller are on the processor; the "response" is the read phase
+  completing at the on-chip controller.
+
+Either way, the S-App load completes at the response, and stores complete
+when accepted (the ORAM write happens obliviously later).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from repro.bob.channel import BobChannel
+from repro.core.config import PACKET_BYTES
+from repro.core.delegator import OramSequencer, SecureDelegator
+from repro.core.timing_guard import RequestPacer
+from repro.cpu.core import MemoryPort
+from repro.dram.commands import OpType
+from repro.oram.controller import OramController
+from repro.sim.engine import Engine, ns
+from repro.sim.stats import StatSet
+
+
+class OramBackend:
+    """Interface: carry one request to the ORAM engine and back."""
+
+    def submit(
+        self, block_id: Optional[int], on_response: Callable[[int], None]
+    ) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    @property
+    def num_user_blocks(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class DelegatorBackend(OramBackend):
+    """Packets over the secure BOB link to the SD."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        secure_bob: BobChannel,
+        delegator: SecureDelegator,
+        cpu_process_ns: float = 2.0,
+        controller: Optional[OramController] = None,
+    ) -> None:
+        """``controller`` binds this backend to one tree when the SD
+        hosts several S-Apps; ``None`` uses the SD's primary tree."""
+        self.engine = engine
+        self.secure_bob = secure_bob
+        self.delegator = delegator
+        self.cpu_process_ticks = ns(cpu_process_ns)
+        self.controller = controller
+
+    @property
+    def num_user_blocks(self) -> int:
+        if self.controller is not None:
+            return self.controller.config.num_user_blocks
+        assert self.delegator.sequencer is not None
+        return self.delegator.sequencer.controller.config.num_user_blocks
+
+    def submit(
+        self, block_id: Optional[int], on_response: Callable[[int], None]
+    ) -> None:
+        def respond(_read_done_time: int) -> None:
+            # SD -> CPU response packet; decrypt/check at the CPU side.
+            self.secure_bob.send_up(
+                PACKET_BYTES,
+                lambda t: self.engine.at(
+                    t + self.cpu_process_ticks,
+                    lambda: on_response(self.engine.now),
+                ),
+            )
+
+        # CPU -> SD request packet (OTP-sealed, fixed 72 B).
+        self.secure_bob.send_down(
+            PACKET_BYTES,
+            lambda _t: self.delegator.receive_request(
+                block_id, respond, self.controller
+            ),
+        )
+
+
+class OnChipBackend(OramBackend):
+    """The Path ORAM baseline: engine on the processor die."""
+
+    def __init__(self, engine: Engine, controller: OramController,
+                 crypto_ns: float = 2.0) -> None:
+        self.engine = engine
+        self.sequencer = OramSequencer(controller)
+        self.crypto_ticks = ns(crypto_ns)
+
+    @property
+    def num_user_blocks(self) -> int:
+        return self.sequencer.controller.config.num_user_blocks
+
+    def submit(
+        self, block_id: Optional[int], on_response: Callable[[int], None]
+    ) -> None:
+        self.sequencer.submit(
+            block_id,
+            lambda t: self.engine.at(
+                t + self.crypto_ticks, lambda: on_response(self.engine.now)
+            ),
+        )
+
+
+class OramFrontend(MemoryPort):
+    """S-App memory port with fixed-rate real/dummy emission."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        backend: OramBackend,
+        t_cycles: int = 50,
+        queue_depth: int = 8,
+        name: str = "oram_fe",
+    ) -> None:
+        self.engine = engine
+        self.backend = backend
+        self.pacer = RequestPacer(t_cycles, name=f"{name}.pacer")
+        self.queue_depth = queue_depth
+        self.stats = StatSet(name)
+        self._queue: Deque[Tuple[bool, int, Optional[Callable[[int], None]]]] = deque()
+        self._inflight = False
+        self._space_waiters: list = []
+        self._emit_scheduled = False
+
+    def start(self) -> None:
+        """Begin the fixed-rate emission loop at time zero."""
+        self._schedule_emit(self.engine.now)
+
+    # ------------------------------------------------------------------
+    # MemoryPort (S-App core side)
+    # ------------------------------------------------------------------
+    def can_accept(self, op: OpType) -> bool:
+        return len(self._queue) < self.queue_depth
+
+    def issue(
+        self,
+        op: OpType,
+        line_addr: int,
+        app_id: int,
+        on_complete: Optional[Callable[[int], None]],
+    ) -> None:
+        if not self.can_accept(op):
+            raise RuntimeError("ORAM frontend queue full")
+        block_id = line_addr % self.backend.num_user_blocks
+        self._queue.append((op is OpType.WRITE, block_id, on_complete))
+        self.stats.counter("app_requests").add()
+
+    def notify_on_space(self, callback: Callable[[], None]) -> None:
+        self._space_waiters.append(callback)
+
+    # ------------------------------------------------------------------
+    # Fixed-rate emission
+    # ------------------------------------------------------------------
+    def _schedule_emit(self, time: int) -> None:
+        if self._emit_scheduled:
+            return
+        self._emit_scheduled = True
+        self.engine.at(max(time, self.engine.now), self._emit)
+
+    def _emit(self) -> None:
+        self._emit_scheduled = False
+        if self._inflight:
+            return
+        if self._queue:
+            is_write, block_id, on_complete = self._queue.popleft()
+            self._wake_space_waiters()
+            real = True
+        else:
+            is_write, block_id, on_complete = False, None, None
+            real = False
+        self.pacer.emitted(real)
+        self._inflight = True
+        issued_at = self.engine.now
+
+        def on_response(time: int) -> None:
+            self._inflight = False
+            self.stats.latency("oram_response").record(time - issued_at)
+            if on_complete is not None and not is_write:
+                on_complete(time)
+            self._schedule_emit(self.pacer.response_received(time))
+
+        self.backend.submit(block_id, on_response)
+
+    def _wake_space_waiters(self) -> None:
+        if not self._space_waiters:
+            return
+        waiters, self._space_waiters = self._space_waiters, []
+        for callback in waiters:
+            callback()

@@ -1,0 +1,89 @@
+"""Secure BOB packet formats (Section III-B, Fig. 6).
+
+Every CPU <-> SD packet is exactly 72 bytes: a 64-bit header holding the
+access type (1 bit) and memory address (63 bits), followed by a 512-bit
+data field.  Reads carry dummy data so a read is indistinguishable from a
+write on the wire; responses to writes carry dummy data likewise.  The
+split-tree optimization additionally uses *short* read packets (header
+only, no data field) whose type is public by design (Section III-C).
+
+The functional encode/decode here round-trips through
+:class:`repro.crypto.otp.OtpEngine` in the tests; the timing models only
+charge the wire sizes (``PACKET_BYTES`` / ``SHORT_PACKET_BYTES``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.config import PACKET_BYTES, SHORT_PACKET_BYTES
+
+_DATA_BYTES = 64
+_ADDR_MASK = (1 << 63) - 1
+
+
+class PacketType(enum.Enum):
+    READ = 0
+    WRITE = 1
+
+
+@dataclass(frozen=True)
+class SecurePacket:
+    """One fixed-format packet (request or response)."""
+
+    ptype: PacketType
+    address: int
+    data: bytes = bytes(_DATA_BYTES)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.address <= _ADDR_MASK:
+            raise ValueError("address must fit in 63 bits")
+        if len(self.data) != _DATA_BYTES:
+            raise ValueError(f"data field must be {_DATA_BYTES} bytes")
+
+    # ------------------------------------------------------------------
+    def encode(self) -> bytes:
+        """Serialize to the 72-byte cleartext wire image."""
+        header = (self.ptype.value << 63) | self.address
+        return header.to_bytes(8, "big") + self.data
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "SecurePacket":
+        if len(raw) != PACKET_BYTES:
+            raise ValueError(f"secure packet must be {PACKET_BYTES} bytes")
+        header = int.from_bytes(raw[:8], "big")
+        return cls(
+            ptype=PacketType(header >> 63),
+            address=header & _ADDR_MASK,
+            data=raw[8:],
+        )
+
+    @classmethod
+    def read_request(cls, address: int) -> "SecurePacket":
+        """A read with the mandated all-zero dummy data field."""
+        return cls(PacketType.READ, address)
+
+    @classmethod
+    def write_request(cls, address: int, data: bytes) -> "SecurePacket":
+        return cls(PacketType.WRITE, address, data)
+
+
+@dataclass(frozen=True)
+class ShortReadPacket:
+    """Split-tree block fetch: header only, sent in cleartext (III-C)."""
+
+    address: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.address <= _ADDR_MASK:
+            raise ValueError("address must fit in 63 bits")
+
+    def encode(self) -> bytes:
+        return self.address.to_bytes(8, "big").rjust(SHORT_PACKET_BYTES, b"\0")
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "ShortReadPacket":
+        if len(raw) != SHORT_PACKET_BYTES:
+            raise ValueError(f"short packet must be {SHORT_PACKET_BYTES} bytes")
+        return cls(address=int.from_bytes(raw[-8:], "big"))

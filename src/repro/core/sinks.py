@@ -1,0 +1,64 @@
+"""Block sinks: where ORAM path traffic lands.
+
+* :class:`DirectChannelSink` -- the on-chip Path ORAM baseline: block
+  accesses enqueue straight into the processor's four parallel channels
+  (tagged ``SECURE`` so the bandwidth-preallocation scheduler can fence
+  them from NS traffic).
+* The D-ORAM delegator's sink lives in :mod:`repro.core.delegator`
+  because local sub-channel traffic and remote split-tree messages need
+  the delegator's link plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.dram.channel import Channel
+from repro.dram.commands import MemRequest, OpType, TrafficClass
+from repro.oram.controller import BlockSink
+from repro.oram.layout import BlockPlacement
+
+
+class DirectChannelSink(BlockSink):
+    """Issues ORAM blocks into directly attached DRAM channels."""
+
+    def __init__(self, channels: Dict[Tuple[int, int], Channel],
+                 app_id: int) -> None:
+        self.channels = channels
+        self.app_id = app_id
+
+    def try_issue(
+        self,
+        placement: BlockPlacement,
+        op: OpType,
+        on_complete: Callable[[int], None],
+    ) -> bool:
+        key = (placement.channel, placement.subchannel)
+        channel = self.channels[key]
+        if not channel.can_accept(op):
+            return False
+        channel.enqueue(
+            MemRequest(
+                op,
+                placement.channel,
+                placement.subchannel,
+                placement.bank,
+                placement.row,
+                placement.col,
+                app_id=self.app_id,
+                traffic=TrafficClass.SECURE,
+                on_complete=on_complete,
+            )
+        )
+        return True
+
+    def notify_on_space(self, callback: Callable[[], None]) -> None:
+        fired = [False]
+
+        def once() -> None:
+            if not fired[0]:
+                fired[0] = True
+                callback()
+
+        for channel in self.channels.values():
+            channel.notify_on_space(once)

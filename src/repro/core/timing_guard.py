@@ -1,0 +1,48 @@
+"""Fixed-rate request generation (the timing-channel guard).
+
+Section III-B step (2): the on-chip secure engine emits a new Path ORAM
+request exactly ``t`` CPU cycles after receiving the previous response --
+a real request if the S-App has one queued, otherwise a dummy.  The
+observable request stream on the serial link is therefore a deterministic
+function of the response stream and leaks nothing about the application's
+demand (Section III-G cites [44], [46]).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import cpu_cycles
+from repro.sim.stats import StatSet
+
+
+class RequestPacer:
+    """Tracks when the next ORAM request may be emitted."""
+
+    def __init__(self, t_cycles: int = 50, name: str = "pacer") -> None:
+        if t_cycles < 0:
+            raise ValueError("t_cycles must be >= 0")
+        self.t_ticks = cpu_cycles(t_cycles)
+        self.stats = StatSet(name)
+        self._next_allowed = 0
+        self._last_response: Optional[int] = None
+
+    @property
+    def next_allowed(self) -> int:
+        """Earliest tick the next request may leave the secure engine."""
+        return self._next_allowed
+
+    def response_received(self, time: int) -> int:
+        """Record a response; returns the next request's emission time."""
+        self._last_response = time
+        self._next_allowed = time + self.t_ticks
+        return self._next_allowed
+
+    def emitted(self, real: bool) -> None:
+        """Account one emitted request."""
+        self.stats.counter("real" if real else "dummy").add()
+
+    def real_fraction(self) -> float:
+        real = self.stats.counter("real").value
+        total = real + self.stats.counter("dummy").value
+        return real / total if total else 0.0

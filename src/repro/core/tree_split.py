@@ -1,0 +1,90 @@
+"""Tree-split accounting (Section III-C, Table I, Fig. 7).
+
+D-ORAM+k grows the Path ORAM tree by ``k`` levels and relocates those last
+``k`` levels onto the three normal channels: each relocated node's four
+blocks go to channels ``(#i, #1, #2, #3)`` with ``#i = (node mod 3) + 1``.
+This module computes, analytically, the two halves of Table I --
+
+* the resulting space distribution across channels, and
+* the extra serial-link messages per ORAM access --
+
+and the test suite cross-checks the space numbers against the actual
+:class:`~repro.oram.layout.OramLayout` placement arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class SplitMessages:
+    """Per-ORAM-access extra messages caused by a k-level split."""
+
+    #: Secure channel: short read packets up, responses down, writes up.
+    secure_short_reads: int
+    secure_responses: int
+    secure_writes: int
+    #: Per normal channel: the count m is in [min, max] depending on how
+    #: many of the access's relocated nodes rotate onto that channel.
+    normal_min: int
+    normal_max: int
+    normal_expected: float
+
+
+def split_space_shares(k: int, leaf_level: int = 23,
+                       num_normal: int = 3) -> Dict[str, float]:
+    """Fraction of tree blocks per channel after expanding by ``k`` levels.
+
+    ``leaf_level`` is the *original* tree's leaf level (23 for the 4 GB
+    tree); the expanded tree has ``leaf_level + k`` + 1 levels and the last
+    ``k`` levels are relocated.  Returns ``{"secure": f0, "normal": fj}``
+    with ``fj`` the per-normal-channel share.
+    """
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    if num_normal < 1:
+        raise ValueError("need at least one normal channel")
+    expanded_leaf = leaf_level + k
+    total_buckets = (1 << (expanded_leaf + 1)) - 1
+    relocated = sum(
+        1 << level for level in range(expanded_leaf - k + 1, expanded_leaf + 1)
+    )
+    secure = (total_buckets - relocated) / total_buckets
+    # Each relocated node spreads its Z=4 blocks evenly over the three
+    # normal channels on average: 3 fixed (one each) + 1 rotating.
+    per_normal = (relocated / total_buckets) / num_normal
+    return {"secure": secure, "normal": per_normal}
+
+
+def split_extra_messages(k: int, bucket_size: int = 4,
+                         num_normal: int = 3) -> SplitMessages:
+    """Extra messages per ORAM access for a ``k``-level split (Table I).
+
+    One access touches ``k`` relocated nodes = ``bucket_size * k`` blocks.
+    Every relocated block costs the secure channel one short read packet
+    (SD -> CPU), one response packet (CPU -> SD) and one write packet
+    (SD -> CPU).  A normal channel sees one fixed-slot message per node
+    plus zero to one rotating-slot messages per node.
+    """
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    blocks = bucket_size * k
+    return SplitMessages(
+        secure_short_reads=blocks,
+        secure_responses=blocks,
+        secure_writes=blocks,
+        normal_min=k,
+        normal_max=2 * k,
+        normal_expected=k * (1.0 + 1.0 / num_normal),
+    )
+
+
+#: The paper's Table I for k = 1, 2, 3 (space distribution column), used
+#: by the Table I bench to print paper-vs-model side by side.
+TABLE_I = {
+    1: {"secure": 0.500, "normal": 0.167},
+    2: {"secure": 0.250, "normal": 0.250},
+    3: {"secure": 0.125, "normal": 0.292},
+}

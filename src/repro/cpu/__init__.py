@@ -1,0 +1,14 @@
+"""Trace-driven processor front end.
+
+USIMM drives its memory system with a per-core reorder-buffer (ROB) model:
+instructions retire in order at the retire width, a load blocks retirement
+until its data returns, stores drain through the write queue, and fetch
+stalls when the ROB is full.  :class:`~repro.cpu.core.Core` reproduces that
+model event-driven, and :class:`~repro.cpu.cache.LastLevelCache` provides
+the 4 MB LLC in front of it (traces can be either pre- or post-LLC).
+"""
+
+from repro.cpu.core import Core, CoreParams
+from repro.cpu.cache import LastLevelCache
+
+__all__ = ["Core", "CoreParams", "LastLevelCache"]

@@ -1,0 +1,118 @@
+"""A set-associative last-level cache model.
+
+The MSC traces the paper uses are post-LLC miss streams, so the default
+simulations feed cores directly.  The cache exists for the examples and
+for experiments that start from raw (pre-cache) traces: it filters a
+record stream into the miss/writeback stream a 4 MB LLC (Table II) would
+emit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.trace.trace_format import TraceRecord
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Geometry of the cache (defaults: the paper's 4 MB LLC, 16-way)."""
+
+    capacity_bytes: int = 4 * 1024 * 1024
+    line_bytes: int = 64
+    ways: int = 16
+
+    @property
+    def num_sets(self) -> int:
+        sets = self.capacity_bytes // (self.line_bytes * self.ways)
+        if sets < 1:
+            raise ValueError("cache too small for its associativity")
+        return sets
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes % (self.line_bytes * self.ways):
+            raise ValueError("capacity must divide evenly into sets")
+
+
+class LastLevelCache:
+    """LRU, write-back, write-allocate set-associative cache.
+
+    Operates on line addresses (not byte addresses).  ``access`` returns
+    the list of memory-side transactions the access causes: at most one
+    line fill (read) and one dirty writeback (write).
+    """
+
+    def __init__(self, params: CacheParams = CacheParams()) -> None:
+        self.params = params
+        # One OrderedDict per set: line_addr -> dirty flag, LRU order.
+        self._sets: List[OrderedDict] = [
+            OrderedDict() for _ in range(params.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def _set_index(self, line_addr: int) -> int:
+        return line_addr % self.params.num_sets
+
+    def access(self, line_addr: int, is_write: bool) -> List[Tuple[str, int]]:
+        """Access one line; returns memory transactions as (kind, line).
+
+        ``kind`` is ``"fill"`` for a miss fill or ``"writeback"`` for a
+        dirty eviction.
+        """
+        cache_set = self._sets[self._set_index(line_addr)]
+        transactions: List[Tuple[str, int]] = []
+
+        if line_addr in cache_set:
+            self.hits += 1
+            cache_set.move_to_end(line_addr)
+            if is_write:
+                cache_set[line_addr] = True
+            return transactions
+
+        self.misses += 1
+        transactions.append(("fill", line_addr))
+        if len(cache_set) >= self.params.ways:
+            victim, dirty = cache_set.popitem(last=False)
+            if dirty:
+                self.writebacks += 1
+                transactions.append(("writeback", victim))
+        cache_set[line_addr] = is_write
+        return transactions
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    def filter_trace(
+        self, records: Iterator[TraceRecord]
+    ) -> Iterator[TraceRecord]:
+        """Convert a pre-cache record stream into its LLC miss stream.
+
+        Gap instructions of hitting accesses accumulate onto the next
+        missing access, preserving the instruction count; writebacks are
+        emitted as write records with zero gap.
+        """
+        carried_gap = 0
+        for rec in records:
+            transactions = self.access(rec.line_addr, rec.is_write)
+            if not transactions:
+                carried_gap += rec.instructions
+                continue
+            first = True
+            for kind, line in transactions:
+                if kind == "fill":
+                    yield TraceRecord(
+                        gap=carried_gap + (rec.gap if first else 0),
+                        is_write=False,
+                        line_addr=line,
+                    )
+                else:
+                    yield TraceRecord(gap=0, is_write=True, line_addr=line)
+                first = False
+            carried_gap = 0

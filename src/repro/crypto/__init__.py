@@ -1,0 +1,29 @@
+"""Cryptographic primitives for the secure channel and the ORAM tree.
+
+The paper's Eq. (1) one-time-pad packet encryption is AES in counter mode
+over a pre-shared ``(K, N0)``; :mod:`repro.crypto.aes` implements AES-128
+from scratch (validated against FIPS-197), :mod:`repro.crypto.otp` builds
+the OTP stream and packet sealing on top, and :mod:`repro.crypto.codec`
+provides the encrypted/authenticated bucket representation the functional
+Path ORAM stores in untrusted memory.
+
+MACs use HMAC-SHA256 from the standard library -- the paper's
+authentication/integrity bits "adopt the similar designs in previous
+studies" without fixing a construction, so a standard MAC is faithful.
+"""
+
+from repro.crypto.aes import AES128
+from repro.crypto.otp import OtpEngine, OtpStream
+from repro.crypto.mac import mac_tag, mac_verify
+from repro.crypto.codec import BucketCodec, PlainCodec, EncryptedBucketCodec
+
+__all__ = [
+    "AES128",
+    "OtpEngine",
+    "OtpStream",
+    "mac_tag",
+    "mac_verify",
+    "BucketCodec",
+    "PlainCodec",
+    "EncryptedBucketCodec",
+]

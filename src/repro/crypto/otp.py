@@ -1,0 +1,108 @@
+"""One-time-pad packet encryption (the paper's Eq. (1)).
+
+Before execution the on-chip secure engine and the secure delegator
+negotiate a key ``K`` and nonce ``N0``; each 72 B BOB packet is then
+sealed as::
+
+    OTP        = AES(K, N0, SeqNum)
+    SeqNum     = SeqNum + 1
+    Enc_Packet = OTP xor Cleartext_Packet
+
+The OTP depends only on the sequence number, so pads can be pre-generated
+off the critical path -- :class:`OtpStream` exposes exactly that, and
+:class:`OtpEngine` pairs two streams (one per direction) with MAC-based
+authentication so replayed or injected packets are rejected (Section
+III-B, step 4).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.crypto.aes import AES128
+from repro.crypto.mac import mac_tag, mac_verify
+
+
+class OtpMismatch(RuntimeError):
+    """Authentication or integrity failure on a sealed packet."""
+
+
+class OtpStream:
+    """One direction's pad generator with a monotone sequence number."""
+
+    def __init__(self, key: bytes, nonce: int) -> None:
+        self._aes = AES128(key)
+        self._nonce = nonce
+        self.seq_num = 0
+
+    def next_pad(self, length: int) -> Tuple[int, bytes]:
+        """Return ``(seq_num, pad)`` and advance the sequence number.
+
+        Each sequence number gets a disjoint counter range (pads never
+        overlap for packets up to 1 KB).
+        """
+        seq = self.seq_num
+        self.seq_num += 1
+        pad = self._aes.keystream(self._nonce, seq * 64, length)
+        return seq, pad
+
+    def pad_for(self, seq: int, length: int) -> bytes:
+        """Recompute the pad for a known sequence number (receiver side)."""
+        return self._aes.keystream(self._nonce, seq * 64, length)
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    if len(a) != len(b):
+        raise ValueError("xor operands must have equal length")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+class OtpEngine:
+    """Seals and opens packets between the CPU secure engine and the SD.
+
+    Two independent OTP streams (request and response directions) plus an
+    HMAC tag binding the ciphertext to its sequence number: injection
+    fails the tag, replay fails the sequence check.
+    """
+
+    MAC_BYTES = 8
+
+    def __init__(self, key: bytes, nonce: int) -> None:
+        if len(key) != 16:
+            raise ValueError("OtpEngine uses an AES-128 key")
+        self._down = OtpStream(key, nonce)
+        self._up = OtpStream(key, nonce ^ 0xA5A5A5A5A5A5A5A5)
+        self._mac_key = key + b"mac"
+        self._expect_down = 0
+        self._expect_up = 0
+
+    # -- sender side ------------------------------------------------------
+    def seal(self, cleartext: bytes, upstream: bool = False) -> bytes:
+        stream = self._up if upstream else self._down
+        seq, pad = stream.next_pad(len(cleartext))
+        body = xor_bytes(cleartext, pad)
+        tag = mac_tag(self._mac_key, seq.to_bytes(8, "big") + body,
+                      self.MAC_BYTES)
+        return seq.to_bytes(8, "big") + body + tag
+
+    # -- receiver side ------------------------------------------------------
+    def open(self, sealed: bytes, upstream: bool = False) -> bytes:
+        if len(sealed) < 8 + self.MAC_BYTES:
+            raise OtpMismatch("packet too short")
+        seq = int.from_bytes(sealed[:8], "big")
+        body = sealed[8:-self.MAC_BYTES]
+        tag = sealed[-self.MAC_BYTES:]
+        if not mac_verify(self._mac_key, sealed[:8] + body, tag):
+            raise OtpMismatch("MAC check failed (injected packet?)")
+        expected = self._expect_up if upstream else self._expect_down
+        if seq != expected:
+            raise OtpMismatch(
+                f"sequence {seq} != expected {expected} (replayed packet?)"
+            )
+        if upstream:
+            self._expect_up += 1
+            pad = self._up.pad_for(seq, len(body))
+        else:
+            self._expect_down += 1
+            pad = self._down.pad_for(seq, len(body))
+        return xor_bytes(body, pad)

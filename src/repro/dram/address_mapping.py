@@ -1,0 +1,117 @@
+"""Address mapping: application line addresses to DRAM device coordinates.
+
+Two layers, mirroring the paper's memory organization:
+
+* :class:`ChannelInterleaver` decides *which* channel/sub-channel a line
+  lives on.  Per-application channel masks implement the experiments'
+  allocation policies: the Fig. 4 channel partition (7NS-3ch keeps NS-Apps
+  off channel 0) and D-ORAM/c (only ``c`` of the NS-Apps may allocate on
+  the secure channel, Section III-D).
+
+* :func:`decode_line` maps the channel-local line index to (bank, row,
+  column) with consecutive lines filling a row before moving to the next
+  bank, so streaming accesses see row-buffer hits -- USIMM's default
+  open-page-friendly layout.
+
+The ORAM tree does *not* use this module's interleaver; its physical
+placement is the subtree layout in :mod:`repro.oram.layout`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class DeviceGeometry:
+    """Channel-local geometry used to decode line indices."""
+
+    num_banks: int = 8
+    lines_per_row: int = 128  # 8 KB row / 64 B line
+    num_rows: int = 1 << 16
+
+    @property
+    def lines_per_bank(self) -> int:
+        return self.lines_per_row * self.num_rows
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.lines_per_bank * self.num_banks
+
+
+@dataclass(frozen=True)
+class LineAddress:
+    """A fully decoded physical line location."""
+
+    channel: int
+    subchannel: int
+    bank: int
+    row: int
+    col: int
+
+
+def decode_line(local_line: int, geometry: DeviceGeometry) -> Tuple[int, int, int]:
+    """Map a channel-local line index to ``(bank, row, col)``.
+
+    Row-major within a bank row, then round-robin across banks per row so
+    that (a) a streaming app keeps row hits inside each bank and (b) large
+    strides still spread across banks for parallelism.
+    """
+    if local_line < 0:
+        raise ValueError("negative line index")
+    col = local_line % geometry.lines_per_row
+    row_group = local_line // geometry.lines_per_row
+    bank = row_group % geometry.num_banks
+    row = (row_group // geometry.num_banks) % geometry.num_rows
+    return bank, row, col
+
+
+class ChannelInterleaver:
+    """Per-application interleaving across an allowed set of channels.
+
+    Each application owns a disjoint slice of the physical row space (a
+    per-app base row offset) so co-running copies of the same benchmark do
+    not alias onto the same rows, matching the paper's "addresses of
+    different versions are mapped to different address spaces".
+    """
+
+    def __init__(
+        self,
+        targets: Sequence[Tuple[int, int]],
+        geometry: DeviceGeometry = DeviceGeometry(),
+        app_base_line: int = 0,
+    ) -> None:
+        if not targets:
+            raise ValueError("an app must be allowed at least one channel")
+        self.targets: List[Tuple[int, int]] = list(targets)
+        self.geometry = geometry
+        self.app_base_line = app_base_line
+
+    def map_line(self, line_index: int) -> LineAddress:
+        """Stripe ``line_index`` across the allowed targets at line grain."""
+        if line_index < 0:
+            raise ValueError("negative line index")
+        target = self.targets[line_index % len(self.targets)]
+        local = self.app_base_line + line_index // len(self.targets)
+        bank, row, col = decode_line(local, self.geometry)
+        return LineAddress(target[0], target[1], bank, row, col)
+
+
+def build_app_interleavers(
+    app_targets: Dict[int, Sequence[Tuple[int, int]]],
+    geometry: DeviceGeometry = DeviceGeometry(),
+    lines_per_app: int = 1 << 20,
+) -> Dict[int, ChannelInterleaver]:
+    """Create one interleaver per application with disjoint base offsets.
+
+    ``app_targets`` maps ``app_id`` to the (channel, subchannel) pairs the
+    app may allocate on; ``lines_per_app`` sizes each app's slice of the
+    channel-local line space (default 64 MB of lines, ample for traces).
+    """
+    interleavers: Dict[int, ChannelInterleaver] = {}
+    for slot, (app_id, targets) in enumerate(sorted(app_targets.items())):
+        interleavers[app_id] = ChannelInterleaver(
+            targets, geometry, app_base_line=slot * lines_per_app
+        )
+    return interleavers

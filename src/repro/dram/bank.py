@@ -1,0 +1,191 @@
+"""DRAM bank state machine.
+
+A bank tracks its open row and the JEDEC timestamps needed to decide when
+the *data burst* of the next access can start.  The channel asks the bank
+two questions:
+
+* :meth:`earliest_data_start` -- if I scheduled this request now, when could
+  its data appear on the bus?  (Used by FR-FCFS to prefer row hits and by
+  the channel to overlap bank preparation with the current burst.)
+* :meth:`commit` -- the request was selected; advance the state machine and
+  return the actual data-start time.
+
+The model back-dates PRECHARGE/ACTIVATE preparation as early as the bank
+and rank constraints allow (but never before the request's arrival), which
+captures the command/data overlap a real FR-FCFS controller achieves
+without simulating individual command slots.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.dram.commands import MemRequest
+from repro.dram.timing import DDR3Timing
+
+
+class Bank:
+    """One DRAM bank: open-row register plus timing bookkeeping."""
+
+    def __init__(self, timing: DDR3Timing, rank: "RankTimers") -> None:
+        self.timing = timing
+        self.rank = rank
+        #: Currently open row, or ``None`` when precharged.
+        self.open_row: Optional[int] = None
+        #: Tick of the last ACTIVATE.
+        self._act_time: int = -(10**12)
+        #: Earliest tick a PRECHARGE may issue (tRAS / tWR / tRTP fences).
+        self._pre_ready: int = 0
+        #: Earliest tick an ACTIVATE may issue (tRP / tRC fences).
+        self._act_ready: int = 0
+        # Row-buffer statistics, read by the channel.
+        self.hits = 0
+        self.misses = 0
+        self.conflicts = 0
+
+    # ------------------------------------------------------------------
+    def classify(self, row: int) -> str:
+        """Row-buffer outcome if ``row`` were accessed next."""
+        if self.open_row is None:
+            return "closed"
+        return "hit" if self.open_row == row else "conflict"
+
+    def earliest_data_start(self, req: MemRequest, earliest: int) -> int:
+        """Earliest data-burst start for ``req``, preparing from ``earliest``.
+
+        Does not mutate state.  ``earliest`` is the first tick preparation
+        commands may be considered (normally the request arrival time).
+        """
+        start, _plan = self._plan(req, earliest)
+        return start
+
+    def commit(self, req: MemRequest, earliest: int, floor: int = 0) -> Tuple[int, str]:
+        """Schedule ``req``; returns ``(data_start, outcome)``.
+
+        ``floor`` is the earliest the data burst may start for reasons the
+        bank cannot see (the channel data bus being busy); all recovery
+        fences are computed from the *actual* burst time.  ``outcome`` is
+        ``"hit"``, ``"closed"`` or ``"conflict"`` for row-buffer statistics.
+        """
+        timing = self.timing
+        outcome = self.classify(req.row)
+        data_start, act_time = self._plan(req, earliest)
+        data_start = max(data_start, floor)
+
+        if outcome != "hit":
+            # A (possibly preceded-by-precharge) ACTIVATE happened.
+            self.rank.note_activate(act_time)
+            self._act_time = act_time
+            self._act_ready = act_time + timing.tRC
+            self.open_row = req.row
+
+        col_time = data_start - (timing.tCWL if req.is_write else timing.tCL)
+        if req.is_write:
+            # Write recovery fences the next precharge after the data burst.
+            write_end = data_start + timing.tBURST
+            self._pre_ready = max(
+                self._pre_ready, write_end + timing.tWR,
+                self._act_time + timing.tRAS,
+            )
+            self.rank.note_write_end(write_end)
+        else:
+            self._pre_ready = max(
+                self._pre_ready, col_time + timing.tRTP,
+                self._act_time + timing.tRAS,
+            )
+
+        if outcome == "hit":
+            self.hits += 1
+        elif outcome == "closed":
+            self.misses += 1
+        else:
+            self.conflicts += 1
+        return data_start, outcome
+
+    def force_precharge(self, time: int) -> None:
+        """Close the row (refresh or page-close policy)."""
+        self.open_row = None
+        self._act_ready = max(self._act_ready, time)
+
+    # ------------------------------------------------------------------
+    def _plan(self, req: MemRequest, earliest: int) -> Tuple[int, int]:
+        """Compute ``(data_start, act_time)`` without mutating state."""
+        timing = self.timing
+        cas = timing.tCWL if req.is_write else timing.tCL
+        outcome = self.classify(req.row)
+
+        if outcome == "hit":
+            # Column command directly; tRCD already satisfied if the row
+            # has been open long enough.
+            col = max(earliest, self._act_time + timing.tRCD)
+            if not req.is_write:
+                col = max(col, self.rank.read_ready(earliest))
+            return col + cas, self._act_time
+
+        if outcome == "conflict":
+            pre = max(earliest, self._pre_ready)
+            act_lb = pre + timing.tRP
+        else:  # closed
+            act_lb = max(earliest, self._act_ready)
+
+        act = self.rank.activate_slot(max(act_lb, self._act_ready))
+        col = act + timing.tRCD
+        if not req.is_write:
+            col = max(col, self.rank.read_ready(earliest))
+        return col + cas, act
+
+
+class RankTimers:
+    """Per-rank constraints shared by the rank's banks.
+
+    Tracks the tFAW four-activate window, tRRD activate spacing, the
+    write-to-read (tWTR) fence, and the periodic refresh schedule.
+    """
+
+    def __init__(self, timing: DDR3Timing) -> None:
+        self.timing = timing
+        #: Ticks of the most recent activates (at most 4 kept).
+        self._acts: list = []
+        self._last_write_end = -(10**12)
+        self._next_refresh = timing.tREFI
+        self.refreshes = 0
+
+    # -- activates ------------------------------------------------------
+    def activate_slot(self, lower_bound: int) -> int:
+        """Earliest ACTIVATE at or after ``lower_bound`` honoring
+        tRRD and tFAW.  Does not record the activate."""
+        t = lower_bound
+        if self._acts:
+            t = max(t, self._acts[-1] + self.timing.tRRD)
+            if len(self._acts) >= 4:
+                t = max(t, self._acts[-4] + self.timing.tFAW)
+        return t
+
+    def note_activate(self, time: int) -> None:
+        self._acts.append(time)
+        if len(self._acts) > 4:
+            self._acts.pop(0)
+
+    # -- write-to-read fence ---------------------------------------------
+    def note_write_end(self, time: int) -> None:
+        if time > self._last_write_end:
+            self._last_write_end = time
+
+    def read_ready(self, earliest: int) -> int:
+        """Earliest a READ column command may issue (tWTR after writes)."""
+        return max(earliest, self._last_write_end + self.timing.tWTR)
+
+    # -- refresh ----------------------------------------------------------
+    def refresh_window(self, time: int) -> Optional[Tuple[int, int]]:
+        """If a refresh is due at or before ``time``, return its window.
+
+        The caller must invoke :meth:`complete_refresh` to advance the
+        schedule after stalling for the window.
+        """
+        if time >= self._next_refresh:
+            return (self._next_refresh, self._next_refresh + self.timing.tRFC)
+        return None
+
+    def complete_refresh(self) -> None:
+        self.refreshes += 1
+        self._next_refresh += self.timing.tREFI

@@ -1,0 +1,244 @@
+"""One DRAM (sub-)channel: banks, queues, data bus, and scheduler.
+
+The channel is the unit of bandwidth in every experiment: the paper's
+direct-attached baseline has four of them; the BOB configuration puts four
+*sub-channels* (each an instance of this class) behind the secure channel's
+on-board controller and one behind each normal channel.
+
+Event flow
+----------
+``enqueue()`` accepts a :class:`MemRequest`, then a service loop picks
+requests with FR-FCFS (optionally arbitrated between secure/normal traffic
+classes by a :class:`SharePolicy`), computes when the bank can deliver the
+data burst, occupies the data bus for ``tBURST``, and fires the request's
+completion callback when the burst ends.  Bank preparation (PRE/ACT) is
+back-dated as early as JEDEC constraints allow, modeling the command/data
+overlap of a real pipelined controller.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.dram.bank import Bank, RankTimers
+from repro.dram.commands import MemRequest, OpType, TrafficClass
+from repro.dram.scheduler import FrFcfsScheduler, SharePolicy, SingleClassPolicy
+from repro.dram.timing import ChannelParams, DDR3Timing, DDR3_1600, DEFAULT_CHANNEL_PARAMS
+from repro.sim.engine import Engine
+from repro.sim.stats import StatSet
+
+
+class Channel:
+    """A DRAM channel with one rank of banks and a shared data bus."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        timing: DDR3Timing = DDR3_1600,
+        params: ChannelParams = DEFAULT_CHANNEL_PARAMS,
+        share_policy: Optional[SharePolicy] = None,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.timing = timing
+        self.params = params
+        self.rank = RankTimers(timing)
+        self.banks: List[Bank] = [
+            Bank(timing, self.rank) for _ in range(params.num_banks)
+        ]
+        self.scheduler = FrFcfsScheduler(params.scheduler_window)
+        self.share_policy = share_policy or SingleClassPolicy()
+
+        self.read_q: List[MemRequest] = []
+        self.write_q: List[MemRequest] = []
+        self._draining = False
+        self._bus_free = 0
+        self._last_op: Optional[OpType] = None
+        self._service_scheduled = False
+        self._space_waiters: List[Callable[[], None]] = []
+
+        self.stats = StatSet(name)
+        self._busy_ticks = 0
+        # Hot-path accelerators: pre-bound stat objects (avoids per-
+        # request f-string key construction) and per-queue secure-class
+        # counters (skips class scans when traffic is homogeneous).
+        self._lat_by_req = {}
+        for is_write, kind in ((False, "read"), (True, "write")):
+            for traffic in (TrafficClass.NORMAL, TrafficClass.SECURE):
+                self._lat_by_req[(is_write, traffic)] = (
+                    self.stats.latency(f"{kind}_latency"),
+                    self.stats.latency(f"{traffic.value}_{kind}_latency"),
+                    self.stats.counter(f"{kind}s_serviced"),
+                )
+        self._row_counters = {
+            outcome: self.stats.counter(f"row_{outcome}")
+            for outcome in ("hit", "closed", "conflict")
+        }
+        self._rq_secure = 0
+        self._wq_secure = 0
+
+    # ------------------------------------------------------------------
+    # Front-end interface
+    # ------------------------------------------------------------------
+    def can_accept(self, op: OpType) -> bool:
+        """Queue-space check; front ends must test before ``enqueue``."""
+        if op is OpType.WRITE:
+            return len(self.write_q) < self.params.write_queue_depth
+        return len(self.read_q) < self.params.read_queue_depth
+
+    def enqueue(self, req: MemRequest) -> None:
+        """Accept a request.  Raises if the target queue is full."""
+        if not self.can_accept(req.op):
+            raise RuntimeError(f"{self.name}: {req.op.value} queue full")
+        if not 0 <= req.bank < len(self.banks):
+            raise ValueError(f"{self.name}: bank {req.bank} out of range")
+        req.arrival = self.engine.now
+        if req.is_write:
+            self.write_q.append(req)
+            if req.traffic is TrafficClass.SECURE:
+                self._wq_secure += 1
+        else:
+            self.read_q.append(req)
+            if req.traffic is TrafficClass.SECURE:
+                self._rq_secure += 1
+        self._kick()
+
+    def notify_on_space(self, callback: Callable[[], None]) -> None:
+        """One-shot callback fired the next time any queue entry drains."""
+        self._space_waiters.append(callback)
+
+    @property
+    def queued(self) -> int:
+        return len(self.read_q) + len(self.write_q)
+
+    # ------------------------------------------------------------------
+    # Service loop
+    # ------------------------------------------------------------------
+    def _kick(self) -> None:
+        if self._service_scheduled or not (self.read_q or self.write_q):
+            return
+        self._service_scheduled = True
+        self.engine.at(max(self.engine.now, self._bus_free), self._service)
+
+    def _service(self) -> None:
+        self._service_scheduled = False
+        if not (self.read_q or self.write_q):
+            return
+
+        # Refresh first: if the refresh deadline has passed, stall the rank
+        # for tRFC with every bank precharged.
+        window = self.rank.refresh_window(self.engine.now)
+        if window is not None:
+            start, end = window
+            for bank in self.banks:
+                bank.force_precharge(end)
+            self._bus_free = max(self._bus_free, end)
+            self.rank.complete_refresh()
+            self.stats.counter("refreshes").add()
+            self._service_scheduled = True
+            self.engine.at(max(self.engine.now, self._bus_free), self._service)
+            return
+
+        queue = self._select_queue()
+        req = self._pick_request(queue)
+
+        bank = self.banks[req.bank]
+        floor = max(self._bus_free, self.engine.now)
+        if self._last_op is OpType.READ and req.is_write:
+            floor += self.timing.tRTW
+        data_start, outcome = bank.commit(req, req.arrival, floor=floor)
+        finish = data_start + self.timing.tBURST
+
+        self._bus_free = finish
+        self._last_op = req.op
+        self._busy_ticks += self.timing.tBURST
+
+        self._record(req, outcome, finish)
+        if req.on_complete is not None:
+            self.engine.at(finish, lambda r=req, t=finish: r.on_complete(t))
+
+        self._wake_space_waiters()
+        # Decide the next request when the bus frees so bursts can chain
+        # back-to-back.
+        if self.read_q or self.write_q:
+            self._service_scheduled = True
+            self.engine.at(data_start, self._service)
+
+    def _select_queue(self) -> List[MemRequest]:
+        """Write-drain hysteresis + age bound, else reads, else writes."""
+        wq_len = len(self.write_q)
+        if self._draining and wq_len <= self.params.write_drain_lo:
+            self._draining = False
+        if not self._draining and wq_len >= self.params.write_drain_hi:
+            self._draining = True
+        if not self._draining and self.write_q:
+            # Starvation bound: a sufficiently old write forces service
+            # even below the high watermark (bounded write latency, as in
+            # real controllers).
+            oldest = min(req.arrival for req in self.write_q)
+            if self.engine.now - oldest >= self.params.write_timeout:
+                self._draining = True
+        if self._draining and self.write_q:
+            return self.write_q
+        if self.read_q:
+            return self.read_q
+        return self.write_q
+
+    def _pick_request(self, queue: List[MemRequest]) -> MemRequest:
+        """Arbitrate traffic classes, then FR-FCFS within the class."""
+        secure_count = (
+            self._wq_secure if queue is self.write_q else self._rq_secure
+        )
+        if 0 < secure_count < len(queue):
+            # Mixed traffic: the share policy decides the class.
+            classes = []
+            seen = set()
+            for req in queue:
+                if req.traffic not in seen:
+                    seen.add(req.traffic)
+                    classes.append(req.traffic)
+            chosen_cls = self.share_policy.pick_class(classes)
+            candidates = [r for r in queue if r.traffic is chosen_cls]
+        else:
+            candidates = queue
+        idx_in_candidates = self.scheduler.pick(candidates, self.banks)
+        req = candidates[idx_in_candidates]
+        queue.remove(req)
+        if req.traffic is TrafficClass.SECURE:
+            if queue is self.write_q:
+                self._wq_secure -= 1
+            else:
+                self._rq_secure -= 1
+        return req
+
+    # ------------------------------------------------------------------
+    def _record(self, req: MemRequest, outcome: str, finish: int) -> None:
+        latency = finish - req.arrival
+        lat_kind, lat_class, counter = self._lat_by_req[
+            (req.is_write, req.traffic)
+        ]
+        lat_kind.record(latency)
+        lat_class.record(latency)
+        self._row_counters[outcome].add()
+        counter.add()
+
+    def _wake_space_waiters(self) -> None:
+        if not self._space_waiters:
+            return
+        waiters, self._space_waiters = self._space_waiters, []
+        for callback in waiters:
+            callback()
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """Fraction of elapsed time the data bus carried bursts."""
+        return self._busy_ticks / self.engine.now if self.engine.now else 0.0
+
+    def row_hit_rate(self) -> float:
+        hits = self.stats.counter("row_hit").value
+        total = hits + self.stats.counter("row_closed").value + \
+            self.stats.counter("row_conflict").value
+        return hits / total if total else 0.0

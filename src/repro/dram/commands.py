@@ -1,0 +1,63 @@
+"""Memory request objects exchanged between front ends and controllers."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class OpType(enum.Enum):
+    """Request direction as seen by the DRAM channel."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+#: Traffic-class tag for scheduler share policies: the ORAM engine's
+#: requests are ``SECURE``, everything else is ``NORMAL``.
+class TrafficClass(enum.Enum):
+    NORMAL = "normal"
+    SECURE = "secure"
+
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class MemRequest:
+    """One cache-line access, already decoded to device coordinates.
+
+    The front end (core, ORAM controller, or secure delegator) fills in the
+    coordinates via the address-mapping layer, enqueues the request at a
+    :class:`~repro.dram.channel.Channel`, and receives ``on_complete`` when
+    the data burst finishes.
+    """
+
+    op: OpType
+    channel: int
+    subchannel: int
+    bank: int
+    row: int
+    #: Line offset within the row (column group); kept for address
+    #: round-tripping and debug, not used by the timing model.
+    col: int = 0
+    #: Originating application id; -1 marks engine-internal traffic.
+    app_id: int = -1
+    traffic: TrafficClass = TrafficClass.NORMAL
+    #: Set by the channel when the request is accepted.
+    arrival: int = 0
+    #: Completion callback, invoked with the finish tick.
+    on_complete: Optional[Callable[[int], None]] = None
+    req_id: int = field(default_factory=lambda: next(_request_ids))
+
+    @property
+    def is_write(self) -> bool:
+        return self.op is OpType.WRITE
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MemRequest(#{self.req_id} {self.op.value} app={self.app_id} "
+            f"ch={self.channel}.{self.subchannel} b={self.bank} r={self.row})"
+        )

@@ -1,0 +1,104 @@
+"""Request scheduling policies for a memory channel.
+
+Two policies from the paper's infrastructure:
+
+* **FR-FCFS** (first-ready, first-come-first-served) -- the standard USIMM
+  open-page scheduler: among queued requests, prefer one that hits an open
+  row buffer, otherwise take the oldest.  The scan is bounded by a window
+  for simulation speed, as real schedulers bound their associative search.
+
+* **Bandwidth preallocation** (:class:`SharePolicy`) -- the cooperative
+  Path ORAM sharing technique of Wang et al. [39] that Section IV adopts
+  with a 50 % threshold: when secure (ORAM) and normal traffic share a
+  channel, each traffic class is guaranteed its configured fraction of
+  scheduling slots via deficit round-robin, so an ORAM burst cannot starve
+  co-running applications (and vice versa).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.dram.bank import Bank
+from repro.dram.commands import MemRequest, TrafficClass
+
+
+class FrFcfsScheduler:
+    """First-ready FCFS pick over a bounded queue window."""
+
+    def __init__(self, window: int = 24) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+
+    def pick(self, queue: Sequence[MemRequest], banks: Sequence[Bank]) -> int:
+        """Index of the request to service next (queue must be non-empty).
+
+        Prefers, within the scan window, a request whose bank currently has
+        its row open (a row-buffer hit); falls back to the oldest request.
+        """
+        if not queue:
+            raise ValueError("pick() on empty queue")
+        limit = min(len(queue), self.window)
+        for i in range(limit):
+            req = queue[i]
+            if banks[req.bank].classify(req.row) == "hit":
+                return i
+        return 0
+
+
+class SharePolicy:
+    """Deficit round-robin between traffic classes.
+
+    ``weights`` maps each :class:`TrafficClass` to its guaranteed share;
+    the paper uses 50/50 (``{SECURE: 1, NORMAL: 1}``).  Classes with no
+    queued work donate their slot, so the policy is work-conserving.
+    """
+
+    def __init__(self, weights: Optional[Dict[TrafficClass, float]] = None) -> None:
+        if weights is None:
+            weights = {TrafficClass.SECURE: 1.0, TrafficClass.NORMAL: 1.0}
+        if not weights or any(w <= 0 for w in weights.values()):
+            raise ValueError("weights must be positive")
+        self.weights = dict(weights)
+        total = sum(self.weights.values())
+        self._share = {cls: w / total for cls, w in self.weights.items()}
+        self._credit: Dict[TrafficClass, float] = {
+            cls: 0.0 for cls in self.weights
+        }
+        self.served: Dict[TrafficClass, int] = {cls: 0 for cls in self.weights}
+
+    def pick_class(self, pending: Sequence[TrafficClass]) -> TrafficClass:
+        """Choose which class to serve among classes with queued requests."""
+        candidates = [cls for cls in pending if cls in self.weights]
+        if not candidates:
+            # Unconfigured classes fall through in arrival order.
+            return pending[0]
+        if len(candidates) == 1:
+            # Work-conserving bypass: an uncontended slot costs no credit,
+            # so a class running alone does not bank debt (or surplus)
+            # against classes that were absent.
+            self.served[candidates[0]] += 1
+            return candidates[0]
+        # Contended slot: every pending class earns its share, the winner
+        # pays one slot.  Credits stay bounded by construction (shares sum
+        # to <= 1 and the winner pays 1), but clamp anyway for safety.
+        for cls in candidates:
+            self._credit[cls] = min(self._credit[cls] + self._share[cls], 2.0)
+        best = max(candidates, key=lambda cls: (self._credit[cls],
+                                                -candidates.index(cls)))
+        self._credit[best] = max(self._credit[best] - 1.0, -2.0)
+        self.served[best] += 1
+        return best
+
+    def served_fraction(self, cls: TrafficClass) -> float:
+        """Fraction of slots actually served to ``cls`` (for tests/analysis)."""
+        total = sum(self.served.values())
+        return self.served.get(cls, 0) / total if total else 0.0
+
+
+class SingleClassPolicy:
+    """Degenerate share policy when only one traffic class uses a channel."""
+
+    def pick_class(self, pending: Sequence[TrafficClass]) -> TrafficClass:
+        return pending[0]

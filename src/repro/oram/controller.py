@@ -1,0 +1,202 @@
+"""Timing-side Path ORAM engine.
+
+Converts one protected request (or a dummy) into the paper's path traffic:
+with the default configuration, 84 block reads followed by 84 block
+writes, striped over four (sub-)channels, with tree-top-cached levels
+skipped.  Where those block accesses go is abstracted behind
+:class:`BlockSink`, so the same engine serves both the on-chip Path ORAM
+baseline (blocks into the four direct-attached channels) and the D-ORAM
+secure delegator (local sub-channels plus cross-channel messages for
+split-tree levels).
+
+The two protocol phases are exposed separately (``begin_read`` /
+``begin_write``) because D-ORAM's delegator sends the response packet as
+soon as the read phase finishes and overlaps the write phase with the
+response's link flight (Section III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.dram.commands import OpType
+from repro.oram.config import OramConfig
+from repro.oram.layout import BlockPlacement, OramLayout
+from repro.oram.protocol import ProtocolState
+from repro.sim.engine import Engine
+from repro.sim.stats import StatSet
+
+
+class BlockSink:
+    """Where path block accesses go (duck-typed interface).
+
+    ``try_issue`` returns False when the route toward ``placement`` has no
+    capacity right now; the controller will re-pump after
+    ``notify_on_space`` fires.  ``on_complete`` must fire exactly once per
+    accepted block.
+    """
+
+    def try_issue(
+        self,
+        placement: BlockPlacement,
+        op: OpType,
+        on_complete: Callable[[int], None],
+    ) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def notify_on_space(self, callback: Callable[[], None]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+def _ignore_completion(_time: int) -> None:
+    """Write-phase blocks complete at handoff; DRAM completion is moot."""
+
+
+class OramController:
+    """One Path ORAM engine processing a single access at a time."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: OramConfig,
+        layout: OramLayout,
+        sink: BlockSink,
+        seed: int = 0,
+        name: str = "oram",
+        fork_path: bool = False,
+    ) -> None:
+        """``fork_path`` enables the read-side merging of Fork Path
+        [Zhang et al., MICRO'15]: buckets shared between consecutive
+        path accesses (the common tree prefix) were just written by the
+        previous access, so their contents are still in the engine's
+        buffers and need not be re-read.  With uniformly random paths
+        and a 3-level tree-top cache the expected overlap below the
+        cache is small (sum of 2^-l for l >= 3, about a quarter of a
+        bucket), which the ablation bench quantifies."""
+        self.engine = engine
+        self.config = config
+        self.layout = layout
+        self.sink = sink
+        self.state = ProtocolState(config, seed=seed, lazy=True)
+        self.stats = StatSet(name)
+        self.fork_path = fork_path
+
+        self._placements: List[BlockPlacement] = []
+        self._read_placements: List[BlockPlacement] = []
+        self._pending: List[BlockPlacement] = []
+        self._outstanding = 0
+        self._phase: Optional[str] = None
+        self._phase_start = 0
+        self._phase_done_cb: Optional[Callable[[int], None]] = None
+        self._waiting_for_space = False
+        self._prev_buckets: frozenset = frozenset()
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        return self._phase is not None
+
+    @property
+    def phase(self) -> Optional[str]:
+        return self._phase
+
+    # ------------------------------------------------------------------
+    def begin_read(
+        self,
+        block_id: Optional[int],
+        on_done: Callable[[int], None],
+    ) -> None:
+        """Start the read phase for ``block_id`` (``None`` = dummy access).
+
+        The protocol step: look up (and remap) the block's leaf, then
+        fetch every non-cached block on that path.
+        """
+        if self.busy:
+            raise RuntimeError("ORAM controller is mid-access")
+        if block_id is None:
+            leaf = self.state.dummy_path()
+            self.stats.counter("dummy_accesses").add()
+        else:
+            leaf, _new_leaf = self.state.access_begin(block_id)
+            self.stats.counter("real_accesses").add()
+        self._placements = self.layout.path_placements(leaf)
+        if self.fork_path:
+            buckets = frozenset(p.bucket for p in self._placements)
+            overlap = buckets & self._prev_buckets
+            self._prev_buckets = buckets
+            if overlap:
+                skip = [p for p in self._placements if p.bucket in overlap]
+                self.stats.counter("fork_skipped_blocks").add(len(skip))
+                # Read phase skips the still-buffered buckets; the write
+                # phase rewrites the full path as the protocol requires.
+                self._read_placements = [
+                    p for p in self._placements if p.bucket not in overlap
+                ]
+            else:
+                self._read_placements = self._placements
+        else:
+            self._read_placements = self._placements
+        self._start_phase("read", on_done)
+
+    def begin_write(self, on_done: Callable[[int], None]) -> None:
+        """Write the same path back (re-encrypted blocks + evictions)."""
+        if self.busy:
+            raise RuntimeError("ORAM controller is mid-phase")
+        if not self._placements:
+            raise RuntimeError("begin_write without a preceding read phase")
+        self._start_phase("write", on_done)
+
+    # ------------------------------------------------------------------
+    def _start_phase(self, phase: str, on_done: Callable[[int], None]) -> None:
+        self._phase = phase
+        self._phase_start = self.engine.now
+        self._phase_done_cb = on_done
+        source = self._read_placements if phase == "read" else self._placements
+        self._pending = list(source)
+        self._outstanding = 0
+        self._pump()
+
+    def _pump(self) -> None:
+        self._waiting_for_space = False
+        if self._phase is None:
+            return
+        reading = self._phase == "read"
+        op = OpType.READ if reading else OpType.WRITE
+        # Read phase: the response needs every block, so completions are
+        # tracked.  Write phase: the protocol's "write phase ongoing" is
+        # the engine *issuing* the re-encrypted path; a block is done when
+        # the memory system accepts it (queue back-pressure still paces
+        # the engine), matching how [32]/[39] stream the write-back.
+        on_done = self._block_done if reading else _ignore_completion
+        i = 0
+        while i < len(self._pending):
+            placement = self._pending[i]
+            if self.sink.try_issue(placement, op, on_done):
+                self._pending.pop(i)
+                if reading:
+                    self._outstanding += 1
+            else:
+                i += 1
+        if self._pending and not self._waiting_for_space:
+            self._waiting_for_space = True
+            self.sink.notify_on_space(self._pump)
+        self._maybe_finish()
+
+    def _block_done(self, _time: int) -> None:
+        self._outstanding -= 1
+        if self._pending and not self._waiting_for_space:
+            # Capacity likely freed somewhere; retry stalled placements.
+            self._pump()
+        else:
+            self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        if self._phase is None or self._pending or self._outstanding:
+            return
+        phase, cb = self._phase, self._phase_done_cb
+        self._phase = None
+        self._phase_done_cb = None
+        elapsed = self.engine.now - self._phase_start
+        self.stats.latency(f"{phase}_phase").record(elapsed)
+        if cb is not None:
+            cb(self.engine.now)

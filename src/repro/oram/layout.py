@@ -1,0 +1,266 @@
+"""Physical placement of the ORAM tree in DRAM.
+
+Implements the two layout techniques Section IV adopts plus the D-ORAM+k
+split of Section III-C:
+
+* **Tree-top cache** -- the top ``treetop_levels`` levels live in the
+  controller's SRAM and produce no DRAM traffic.
+* **Subtree layout** [Ren et al., ISCA'13] -- the remaining levels are cut
+  into ``subtree_levels``-high subtrees; each subtree's buckets are packed
+  contiguously so one path's accesses inside a subtree land in the same
+  DRAM row.  With the paper's numbers (7-level subtrees, one block of each
+  bucket per sub-channel) a subtree occupies 127 consecutive lines per
+  sub-channel -- almost exactly one 8 KB row.
+* **Tree split (D-ORAM+k)** -- levels beyond ``home_levels`` are relocated
+  to the normal channels: block 0 of a relocated bucket goes to channel
+  ``(bucket mod 3) + 1`` and blocks 1..3 go to channels 1..3 (Fig. 7),
+  which produces exactly Table I's space distribution.
+
+The layout is pure arithmetic over bucket indices -- the 4 GB tree is
+never materialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dram.address_mapping import DeviceGeometry, decode_line
+from repro.oram.config import OramConfig
+from repro.oram.tree import TreeGeometry
+
+
+@dataclass(frozen=True)
+class BlockPlacement:
+    """Where one (bucket, slot) block lives, plus routing information."""
+
+    bucket: int
+    slot: int
+    channel: int
+    subchannel: int
+    bank: int
+    row: int
+    col: int
+    #: True when the block sits on a normal channel and must be reached
+    #: with explicit cross-channel messages (Section III-C).
+    remote: bool
+
+
+class OramLayout:
+    """Bucket/slot -> device-coordinate mapping for one ORAM tree."""
+
+    def __init__(
+        self,
+        config: OramConfig,
+        home_targets: Sequence[Tuple[int, int]],
+        geometry: DeviceGeometry = DeviceGeometry(),
+        base_line: int = 1 << 24,
+        home_levels: Optional[int] = None,
+        remote_targets: Sequence[Tuple[int, int]] = (),
+        remote_base_line: int = 1 << 24,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        home_targets:
+            (channel, subchannel) pairs of the tree's home -- the secure
+            channel's four sub-channels in D-ORAM, or the four parallel
+            channels in the on-chip baseline.  Bucket slot ``s`` lives on
+            ``home_targets[s % len(home_targets)]``.
+        home_levels:
+            Number of levels (from the root) kept on the home targets;
+            levels beyond it are relocated to ``remote_targets``.  Default:
+            all levels.  D-ORAM+k passes ``config.num_levels - k``.
+        base_line / remote_base_line:
+            Line-index origin of the ORAM region inside each target,
+            placed far above the NS-App slices.
+        """
+        if not home_targets:
+            raise ValueError("home_targets must not be empty")
+        self.config = config
+        self.tree = TreeGeometry(config)
+        self.home_targets = list(home_targets)
+        self.device = geometry
+        self.base_line = base_line
+        self.home_levels = (
+            config.num_levels if home_levels is None else home_levels
+        )
+        if not config.treetop_levels <= self.home_levels <= config.num_levels:
+            raise ValueError("home_levels out of range")
+        self.split_k = config.num_levels - self.home_levels
+        self.remote_targets = list(remote_targets)
+        self.remote_base_line = remote_base_line
+        if self.split_k > 0 and not self.remote_targets:
+            raise ValueError("tree split requires remote targets")
+        self._blocks_per_target = -(-config.bucket_size // len(self.home_targets))
+        # Precompute per-segment bucket-count prefix for the subtree packing.
+        self._segment_offsets = self._build_segments()
+        # Per-remote-level line-base offsets.
+        self._remote_level_bases = self._build_remote_bases()
+
+    # ------------------------------------------------------------------
+    # Subtree packing of home levels
+    # ------------------------------------------------------------------
+    def _build_segments(self) -> List[Tuple[int, int, int]]:
+        """Segments of the home region: (top_level, height, bucket_offset).
+
+        Levels ``treetop_levels .. home_levels-1`` are cut into
+        ``subtree_levels``-high slices; ``bucket_offset`` is the number of
+        packed buckets in all earlier segments (per whole tree, before
+        division across targets).
+        """
+        segments: List[Tuple[int, int, int]] = []
+        level = self.config.treetop_levels
+        offset = 0
+        while level < self.home_levels:
+            height = min(self.config.subtree_levels, self.home_levels - level)
+            segments.append((level, height, offset))
+            # Buckets in this slice of the tree:
+            buckets = sum(1 << l for l in range(level, level + height))
+            offset += buckets
+            level += height
+        return segments
+
+    def _segment_of(self, level: int) -> Tuple[int, int, int]:
+        for top, height, offset in reversed(self._segment_offsets):
+            if level >= top:
+                if level >= top + height:
+                    raise ValueError(f"level {level} beyond home region")
+                return top, height, offset
+        raise ValueError(f"level {level} is tree-top cached")
+
+    def packed_index(self, bucket: int) -> int:
+        """Subtree-packed sequential index of a home-region bucket.
+
+        Buckets of one subtree are contiguous (BFS order inside the
+        subtree), subtrees are laid out by subtree id.
+        """
+        level = self.tree.level_of(bucket)
+        top, height, seg_offset = self._segment_of(level)
+        depth = level - top
+        subtree_root = bucket >> depth
+        subtree_id = subtree_root - (1 << top)
+        subtree_size = (1 << height) - 1
+        bfs = ((1 << depth) - 1) + (bucket - (subtree_root << depth))
+        return seg_offset + subtree_id * subtree_size + bfs
+
+    # ------------------------------------------------------------------
+    # Remote (split) levels
+    # ------------------------------------------------------------------
+    def _build_remote_bases(self) -> dict:
+        """Line-base per relocated level, stacked per channel.
+
+        Each remote channel must reserve room, per level, for the *larger*
+        of its two shares: the all-buckets slot-j region and the
+        one-in-three slot-0 region; we simply stack both regions.
+        """
+        bases = {}
+        cursor = self.remote_base_line
+        for level in range(self.home_levels, self.config.num_levels):
+            buckets = 1 << level
+            per_target_blocks = buckets  # slot-j region (one block/bucket)
+            rotated_blocks = -(-buckets // max(len(self.remote_targets), 1))
+            bases[level] = (cursor, cursor + per_target_blocks)
+            cursor += per_target_blocks + rotated_blocks
+        return bases
+
+    # ------------------------------------------------------------------
+    @property
+    def home_lines_per_target(self) -> int:
+        """Line-space footprint of the home region on each target.
+
+        Used to stack multiple ORAM trees (multi-S-App) without overlap:
+        the next tree's ``base_line`` starts past this footprint.
+        """
+        packed_buckets = 0
+        if self._segment_offsets:
+            top, height, offset = self._segment_offsets[-1]
+            packed_buckets = offset + sum(
+                1 << l for l in range(top, top + height)
+            )
+        return packed_buckets * self._blocks_per_target
+
+    # ------------------------------------------------------------------
+    # Public mapping
+    # ------------------------------------------------------------------
+    def is_cached(self, bucket: int) -> bool:
+        """True when the bucket lives in the tree-top cache (no DRAM)."""
+        return self.tree.level_of(bucket) < self.config.treetop_levels
+
+    def place(self, bucket: int, slot: int) -> Optional[BlockPlacement]:
+        """Placement of one block; ``None`` for tree-top-cached buckets."""
+        if not 0 <= slot < self.config.bucket_size:
+            raise ValueError(f"slot {slot} out of range")
+        level = self.tree.level_of(bucket)
+        if level < self.config.treetop_levels:
+            return None
+        if level < self.home_levels:
+            return self._place_home(bucket, slot)
+        return self._place_remote(bucket, slot, level)
+
+    def _place_home(self, bucket: int, slot: int) -> BlockPlacement:
+        target = self.home_targets[slot % len(self.home_targets)]
+        within = slot // len(self.home_targets)
+        line = (
+            self.base_line
+            + self.packed_index(bucket) * self._blocks_per_target
+            + within
+        )
+        bank, row, col = decode_line(line, self.device)
+        return BlockPlacement(
+            bucket, slot, target[0], target[1], bank, row, col, remote=False
+        )
+
+    def _place_remote(self, bucket: int, slot: int, level: int) -> BlockPlacement:
+        n = len(self.remote_targets)
+        index_in_level = bucket - (1 << level)
+        slot_base, rot_base = self._remote_level_bases[level]
+        if slot == 0:
+            # Fig. 7: first block rotates across the normal channels.
+            target = self.remote_targets[index_in_level % n]
+            line = rot_base + index_in_level // n
+        else:
+            target = self.remote_targets[(slot - 1) % n]
+            line = slot_base + index_in_level
+        bank, row, col = decode_line(line, self.device)
+        return BlockPlacement(
+            bucket, slot, target[0], target[1], bank, row, col, remote=True
+        )
+
+    # ------------------------------------------------------------------
+    def path_placements(self, leaf: int) -> List[BlockPlacement]:
+        """Every DRAM block touched by an access to ``leaf``'s path."""
+        placements: List[BlockPlacement] = []
+        for bucket in self.tree.path_buckets(leaf):
+            for slot in range(self.config.bucket_size):
+                placement = self.place(bucket, slot)
+                if placement is not None:
+                    placements.append(placement)
+        return placements
+
+    # ------------------------------------------------------------------
+    # Space accounting (Table I)
+    # ------------------------------------------------------------------
+    def channel_share(self) -> dict:
+        """Fraction of tree blocks per channel (Table I, left half)."""
+        totals: dict = {}
+        for level in range(self.config.num_levels):
+            buckets = 1 << level
+            for slot in range(self.config.bucket_size):
+                if level < self.home_levels:
+                    target = self.home_targets[slot % len(self.home_targets)]
+                    totals[target[0]] = totals.get(target[0], 0) + buckets
+                elif slot == 0:
+                    for j, target in enumerate(self.remote_targets):
+                        count = (
+                            buckets // len(self.remote_targets)
+                            + (1 if j < buckets % len(self.remote_targets) else 0)
+                        )
+                        totals[target[0]] = totals.get(target[0], 0) + count
+                else:
+                    target = self.remote_targets[
+                        (slot - 1) % len(self.remote_targets)
+                    ]
+                    totals[target[0]] = totals.get(target[0], 0) + buckets
+        grand = sum(totals.values())
+        return {ch: count / grand for ch, count in sorted(totals.items())}

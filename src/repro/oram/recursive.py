@@ -1,0 +1,191 @@
+"""Recursive position map (the standard Path ORAM recursion).
+
+D-ORAM keeps the position map inside the secure delegator's SRAM, which
+works because the SD is dedicated hardware.  The classic alternative --
+store the map itself in a smaller ORAM, recursively, until the top map
+fits in the client -- is the construction every Path ORAM deployment
+without big private memory uses (Stefanov et al. §4; Freecursive [13] in
+the paper's references).  This module implements it functionally so the
+library covers both design points, and exposes the access-amplification
+cost recursion incurs (each logical access walks every map level).
+
+Layout: each position-map block packs ``entries_per_block`` leaf labels
+of the level below (8 x 8-byte big-endian entries per 64 B block by
+default).  Map level 1 stores the data ORAM's leaves; level 2 stores
+level 1's leaves; and so on until at most ``client_entries`` labels
+remain, which the client keeps directly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from repro.oram.config import OramConfig
+from repro.oram.path_oram import PathOram
+
+_ENTRY_BYTES = 8
+
+
+def _config_for(num_blocks: int, template: OramConfig) -> OramConfig:
+    """Smallest tree (same Z/blocksize) holding ``num_blocks`` blocks."""
+    level = 1
+    while True:
+        candidate = OramConfig(
+            leaf_level=level,
+            bucket_size=template.bucket_size,
+            block_bytes=template.block_bytes,
+            treetop_levels=0,
+            subtree_levels=1,
+            utilization=template.utilization,
+        )
+        if candidate.num_user_blocks >= num_blocks:
+            return candidate
+        level += 1
+
+
+class RecursivePathOram:
+    """Path ORAM with its position map stored in recursive ORAMs."""
+
+    def __init__(
+        self,
+        config: OramConfig,
+        entries_per_block: Optional[int] = None,
+        client_entries: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if config.leaf_level > 14:
+            raise ValueError("functional recursion materializes trees")
+        self.config = config
+        self.entries_per_block = (
+            entries_per_block
+            or max(2, config.block_bytes // _ENTRY_BYTES)
+        )
+        if self.entries_per_block * _ENTRY_BYTES > config.block_bytes:
+            raise ValueError("entries do not fit in a block")
+        self._rng = random.Random(seed ^ 0x4EC)
+
+        # Data ORAM (level 0) + map ORAMs (level 1..k), all with
+        # externally managed positions.
+        self.levels: List[PathOram] = [
+            PathOram(config, seed=seed, external_positions=True)
+        ]
+        entries = config.num_user_blocks
+        level_seed = seed
+        while entries > client_entries:
+            blocks = -(-entries // self.entries_per_block)
+            level_seed += 1
+            map_config = _config_for(blocks, config)
+            self.levels.append(
+                PathOram(map_config, seed=level_seed,
+                         external_positions=True)
+            )
+            entries = blocks
+        # Client-resident top map: one leaf label per top-level block.
+        top_leaves = self.levels[-1].config.num_leaves
+        self.client_map: List[int] = [
+            self._rng.randrange(top_leaves) for _ in range(entries)
+        ]
+        #: Map blocks start zeroed = "entry 0"; a zero entry means
+        #: "unassigned": the walker lazily randomizes it on first touch.
+        self._assigned = [set() for _ in self.levels]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_levels(self) -> int:
+        """Recursion depth including the data ORAM."""
+        return len(self.levels)
+
+    @property
+    def num_user_blocks(self) -> int:
+        return self.config.num_user_blocks
+
+    def paths_per_access(self) -> int:
+        """Physical path accesses one logical access costs."""
+        return len(self.levels)
+
+    # ------------------------------------------------------------------
+    def read(self, block_id: int) -> bytes:
+        return self._access(block_id, None)
+
+    def write(self, block_id: int, data: bytes) -> None:
+        if len(data) != self.config.block_bytes:
+            raise ValueError("wrong block size")
+        self._access(block_id, data)
+
+    # ------------------------------------------------------------------
+    def _access(self, block_id: int, new_data: Optional[bytes]) -> bytes:
+        if not 0 <= block_id < self.config.num_user_blocks:
+            raise ValueError("block id out of range")
+
+        # Indices of the entry we need at each level, bottom-up:
+        # index[0] = data block, index[i] = map block at level i.
+        indices = [block_id]
+        for _ in range(1, len(self.levels)):
+            indices.append(indices[-1] // self.entries_per_block)
+
+        # Walk top-down.  At the top, the client map holds the leaf of
+        # the top map block; at each level the fetched map block yields
+        # (and re-randomizes) the leaf for the level below.
+        top = len(self.levels) - 1
+        top_index = indices[top] if top >= 1 else block_id
+        if top == 0:
+            # Degenerate case: everything fits in the client map.
+            old_leaf = self.client_map[block_id]
+            new_leaf = self._rng.randrange(self.config.num_leaves)
+            self.client_map[block_id] = new_leaf
+            mutate = (lambda _old: new_data) if new_data is not None else None
+            return self.levels[0].access_at(
+                block_id, old_leaf, new_leaf, mutate
+            )
+
+        leaf = self.client_map[top_index]
+        new_top_leaf = self._rng.randrange(self.levels[top].config.num_leaves)
+        self.client_map[top_index] = new_top_leaf
+        current_old, current_new = leaf, new_top_leaf
+
+        for level in range(top, 0, -1):
+            oram = self.levels[level]
+            below = self.levels[level - 1]
+            entry_index = indices[level - 1] % self.entries_per_block
+            below_new = self._rng.randrange(below.config.num_leaves)
+            holder = {}
+
+            def mutate(data: bytes, _entry=entry_index, _new=below_new,
+                       _lvl=level, _below=below, _idx=indices[level - 1]):
+                offset = _entry * _ENTRY_BYTES
+                raw = data[offset: offset + _ENTRY_BYTES]
+                if _idx in self._assigned[_lvl - 1]:
+                    holder["old"] = int.from_bytes(raw, "big")
+                else:
+                    # First touch of the below-level object: assign a
+                    # fresh random leaf (zeroed storage is meaningless).
+                    holder["old"] = self._rng.randrange(
+                        _below.config.num_leaves)
+                    self._assigned[_lvl - 1].add(_idx)
+                patched = (
+                    data[:offset]
+                    + _new.to_bytes(_ENTRY_BYTES, "big")
+                    + data[offset + _ENTRY_BYTES:]
+                )
+                return patched
+
+            oram.access_at(indices[level], current_old, current_new, mutate)
+            current_old = holder["old"]
+            current_new = below_new
+
+        # Finally the data ORAM access with the leaf recovered from the
+        # level-1 map.
+        data_oram = self.levels[0]
+        if new_data is not None:
+            pre = data_oram.access_at(
+                block_id, current_old, current_new,
+                mutate=lambda _old: new_data,
+            )
+            return pre
+        return data_oram.access_at(block_id, current_old, current_new)
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        for oram in self.levels:
+            oram.check_invariants()

@@ -1,0 +1,268 @@
+"""Ring ORAM (Ren et al., 2014) -- the bandwidth-optimized alternative.
+
+Section VI of the D-ORAM paper cites Ring ORAM as the related line of
+work that attacks the same bottleneck (ORAM bandwidth) at the protocol
+level rather than architecturally.  This functional implementation lets
+the reproduction compare protocol bandwidth per access directly (see
+``benchmarks/bench_ablation_protocol.py``).
+
+Protocol sketch
+---------------
+Buckets hold ``Z`` real slots plus ``S`` dummy slots behind a per-bucket
+random permutation.  A read touches **one slot per bucket** on the path
+(the block's slot if present, else an unread dummy), so the online cost
+is ``L+1`` blocks instead of Path ORAM's ``Z*(L+1)``.  Every ``A``
+accesses an *eviction path* (reverse-lexicographic order) is read and
+rewritten wholesale, and any bucket whose unread-dummy budget is
+exhausted is *early-reshuffled*.  Client-side metadata (which slot holds
+what, how many touches since the last shuffle) lives in the TCB, as in
+the original design.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.oram.config import OramConfig
+from repro.oram.position_map import DensePositionMap
+from repro.oram.stash import Stash
+from repro.oram.tree import TreeGeometry
+
+#: Marks a slot holding no real block.
+_EMPTY = None
+
+
+@dataclass
+class RingParams:
+    """Ring ORAM protocol parameters.
+
+    ``dummies`` (S) bounds how many times a bucket can be touched before
+    reshuffling; ``evict_rate`` (A) is the access count between eviction
+    paths.  The original paper proves stash bounds for S >= Z and
+    A <= ~2Z; the defaults satisfy both.
+    """
+
+    bucket_real: int = 4     # Z
+    dummies: int = 8         # S
+    evict_rate: int = 4      # A
+
+    def __post_init__(self) -> None:
+        if self.bucket_real < 1 or self.dummies < 1 or self.evict_rate < 1:
+            raise ValueError("Ring ORAM parameters must be positive")
+
+    @property
+    def slots(self) -> int:
+        return self.bucket_real + self.dummies
+
+
+class _Bucket:
+    """Server-side bucket: fixed slot array + client-known metadata."""
+
+    __slots__ = ("blocks", "reads_since_shuffle")
+
+    def __init__(self, slots: int) -> None:
+        # slot -> (block_id, leaf, data) or None; consumed slots are
+        # replaced by None.
+        self.blocks: List[Optional[Tuple[int, int, bytes]]] = [_EMPTY] * slots
+        self.reads_since_shuffle = 0
+
+
+class RingOram:
+    """Functional Ring ORAM over an in-memory tree."""
+
+    def __init__(
+        self,
+        config: OramConfig,
+        params: RingParams = RingParams(),
+        seed: int = 0,
+        stash_capacity: Optional[int] = 500,
+    ) -> None:
+        if config.leaf_level > 14:
+            raise ValueError("functional RingOram materializes the tree")
+        if params.bucket_real != config.bucket_size:
+            raise ValueError("params.bucket_real must equal config Z")
+        self.config = config
+        self.params = params
+        self.geometry = TreeGeometry(config)
+        self.position_map = DensePositionMap(
+            config.num_user_blocks, config.num_leaves, seed=seed
+        )
+        self.stash = Stash(stash_capacity)
+        self._rng = random.Random(seed ^ 0x5106)
+        self._buckets: List[Optional[_Bucket]] = [None] + [
+            _Bucket(params.slots) for _ in range(config.num_buckets)
+        ]
+        self._access_count = 0
+        self._evict_counter = 0
+        # Bandwidth accounting (physical block transfers).
+        self.blocks_read = 0
+        self.blocks_written = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def read(self, block_id: int) -> bytes:
+        return self._access(block_id, None)
+
+    def write(self, block_id: int, data: bytes) -> None:
+        if len(data) != self.config.block_bytes:
+            raise ValueError("wrong block size")
+        self._access(block_id, data)
+
+    def amortized_blocks_per_access(self) -> float:
+        """Measured physical blocks moved per logical access."""
+        if self._access_count == 0:
+            return 0.0
+        return (self.blocks_read + self.blocks_written) / self._access_count
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+    def _access(self, block_id: int, new_data: Optional[bytes]) -> bytes:
+        if not 0 <= block_id < self.config.num_user_blocks:
+            raise ValueError("block id out of range")
+        leaf = self.position_map.lookup(block_id)
+        new_leaf = self.position_map.remap(block_id)
+
+        # Online phase: one physical block per bucket on the path.
+        found: Optional[Tuple[int, int, bytes]] = None
+        for bucket_idx in self.geometry.path_buckets(leaf):
+            bucket = self._buckets[bucket_idx]
+            slot = self._slot_of(bucket, block_id)
+            if slot is not None:
+                found = bucket.blocks[slot]
+                bucket.blocks[slot] = _EMPTY
+            # Real or dummy, exactly one slot is consumed and transferred.
+            self.blocks_read += 1
+            bucket.reads_since_shuffle += 1
+
+        entry = self.stash.get(block_id)
+        if found is not None:
+            data = found[2]
+        elif entry is not None:
+            data = entry[1]
+        else:
+            data = bytes(self.config.block_bytes)
+        if new_data is not None:
+            data = new_data
+        self.stash.put(block_id, new_leaf, data)
+
+        self._access_count += 1
+
+        # Early reshuffle of any bucket out of dummy budget.
+        for bucket_idx in self.geometry.path_buckets(leaf):
+            if (self._buckets[bucket_idx].reads_since_shuffle
+                    >= self.params.dummies):
+                self._reshuffle(bucket_idx)
+
+        # Scheduled eviction path.
+        if self._access_count % self.params.evict_rate == 0:
+            self._evict_path()
+        return data
+
+    def _slot_of(self, bucket: _Bucket, block_id: int) -> Optional[int]:
+        for slot, entry in enumerate(bucket.blocks):
+            if entry is not _EMPTY and entry[0] == block_id:
+                return slot
+        return None
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _reshuffle(self, bucket_idx: int) -> None:
+        """Read a bucket's survivors, rewrite it fresh (early reshuffle)."""
+        bucket = self._buckets[bucket_idx]
+        level = self.geometry.level_of(bucket_idx)
+        survivors = [e for e in bucket.blocks if e is not _EMPTY]
+        self.blocks_read += len(survivors)
+        for block_id, leaf, data in survivors:
+            self.stash.put(block_id, leaf, data)
+        self._write_bucket(bucket_idx, level)
+
+    def _evict_path(self) -> None:
+        """Read and rewrite one full path in reverse-lexicographic order."""
+        leaf = self._reverse_lex_leaf(self._evict_counter)
+        self._evict_counter += 1
+        path = self.geometry.path_buckets(leaf)
+        for bucket_idx in path:
+            bucket = self._buckets[bucket_idx]
+            survivors = [e for e in bucket.blocks if e is not _EMPTY]
+            self.blocks_read += len(survivors)
+            for block_id, block_leaf, data in survivors:
+                self.stash.put(block_id, block_leaf, data)
+            bucket.blocks = [_EMPTY] * self.params.slots
+        # Greedy write-back leaf -> root, exactly as Path ORAM.
+        placed = set()
+        for level in range(self.geometry.leaf_level, -1, -1):
+            bucket_idx = path[level]
+            candidates = sorted(
+                block_id
+                for block_id, block_leaf, _ in self.stash.items()
+                if block_id not in placed
+                and self.geometry.on_same_path(block_leaf, leaf, level)
+            )
+            chosen = candidates[: self.params.bucket_real]
+            placed.update(chosen)
+            bucket = self._buckets[bucket_idx]
+            fresh: List[Optional[Tuple[int, int, bytes]]] = []
+            for block_id in chosen:
+                block_leaf, data = self.stash.pop(block_id)
+                fresh.append((block_id, block_leaf, data))
+            fresh.extend([_EMPTY] * (self.params.slots - len(fresh)))
+            self._rng.shuffle(fresh)
+            bucket.blocks = fresh
+            bucket.reads_since_shuffle = 0
+            self.blocks_written += self.params.slots
+
+    def _write_bucket(self, bucket_idx: int, level: int) -> None:
+        """Refill one bucket from the stash after an early reshuffle."""
+        bucket = self._buckets[bucket_idx]
+        candidates = sorted(
+            block_id
+            for block_id, block_leaf, _ in self.stash.items()
+            if self.geometry.bucket_on_path(block_leaf, level) == bucket_idx
+        )
+        chosen = candidates[: self.params.bucket_real]
+        fresh: List[Optional[Tuple[int, int, bytes]]] = []
+        for block_id in chosen:
+            block_leaf, data = self.stash.pop(block_id)
+            fresh.append((block_id, block_leaf, data))
+        fresh.extend([_EMPTY] * (self.params.slots - len(fresh)))
+        self._rng.shuffle(fresh)
+        bucket.blocks = fresh
+        bucket.reads_since_shuffle = 0
+        self.blocks_written += self.params.slots
+
+    def _reverse_lex_leaf(self, counter: int) -> int:
+        """Deterministic eviction order: bit-reversed counter."""
+        bits = self.geometry.leaf_level
+        value = counter % self.geometry.num_leaves
+        result = 0
+        for _ in range(bits):
+            result = (result << 1) | (value & 1)
+            value >>= 1
+        return result
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """No duplicates; every tree-resident block on its mapped path."""
+        seen: Dict[int, str] = {}
+        for bucket_idx in self.geometry.iter_buckets():
+            bucket = self._buckets[bucket_idx]
+            level = self.geometry.level_of(bucket_idx)
+            real = [e for e in bucket.blocks if e is not _EMPTY]
+            if len(real) > self.params.slots:
+                raise AssertionError("bucket overfull")
+            for block_id, leaf, _data in real:
+                if block_id in seen:
+                    raise AssertionError(f"block {block_id} duplicated")
+                seen[block_id] = f"bucket {bucket_idx}"
+                if self.geometry.bucket_on_path(leaf, level) != bucket_idx:
+                    raise AssertionError(
+                        f"block {block_id} off-path in bucket {bucket_idx}"
+                    )
+        for block_id, _leaf, _data in self.stash.items():
+            if block_id in seen:
+                raise AssertionError(f"block {block_id} in stash and tree")

@@ -1,0 +1,12 @@
+"""Secure-memory execution model (ObfusMem / InvisiMem style).
+
+The comparison point of Fig. 2(b)/Fig. 4: memory is inside the TCB, so no
+ORAM is needed -- but the channel is not, so every access is encrypted,
+read/write types are obfuscated (fixed-format packets), and with multiple
+channels a dummy request goes to every channel the real access does not
+touch, hiding which channel held the data.
+"""
+
+from repro.securemem.obfuscation import SecureMemPort
+
+__all__ = ["SecureMemPort"]

@@ -1,0 +1,24 @@
+"""Discrete-event simulation substrate.
+
+Every timing model in this reproduction (DRAM devices, memory controllers,
+BOB links, cores, the secure delegator) is driven by a single deterministic
+event engine.  Time is kept in integer *ticks* so that runs are exactly
+reproducible: 16 ticks equal one nanosecond, which makes both the 3.2 GHz
+CPU clock (5 ticks per cycle) and the DDR3-1600 memory clock (20 ticks per
+cycle) integral.
+"""
+
+from repro.sim.engine import Engine, TICKS_PER_NS, cpu_cycles, mem_cycles, ns
+from repro.sim.stats import Counter, Histogram, LatencyStat, StatSet
+
+__all__ = [
+    "Engine",
+    "TICKS_PER_NS",
+    "cpu_cycles",
+    "mem_cycles",
+    "ns",
+    "Counter",
+    "Histogram",
+    "LatencyStat",
+    "StatSet",
+]

@@ -1,0 +1,166 @@
+"""Statistics primitives shared by every timing model.
+
+The paper reports three kinds of numbers and these classes cover them all:
+
+* execution-time slowdowns (Figs. 4, 9, 10, 11) -- computed from per-core
+  finish times collected in a :class:`StatSet`;
+* average memory access latencies, split by read/write and by channel
+  (Figs. 8, 13) -- :class:`LatencyStat`;
+* traffic accounting such as Table I's extra-message counts --
+  :class:`Counter` and :class:`Histogram`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class LatencyStat:
+    """Streaming latency aggregate (count / total / min / max).
+
+    Latencies are recorded in ticks and reported in nanoseconds by the
+    analysis layer; this class stays unit-agnostic.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def record(self, latency: int) -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency {latency} on {self.name}")
+        self.count += 1
+        self.total += latency
+        if self.min is None or latency < self.min:
+            self.min = latency
+        if self.max is None or latency > self.max:
+            self.max = latency
+
+    @property
+    def mean(self) -> float:
+        """Average recorded latency, 0.0 when nothing was recorded."""
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "LatencyStat") -> None:
+        """Fold ``other`` into this aggregate."""
+        self.count += other.count
+        self.total += other.total
+        for bound in (other.min, other.max):
+            if bound is None:
+                continue
+            if self.min is None or bound < self.min:
+                self.min = bound
+            if self.max is None or bound > self.max:
+                self.max = bound
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LatencyStat({self.name}: n={self.count}, mean={self.mean:.1f})"
+
+
+class Histogram:
+    """Fixed-bucket histogram, used for queue depths and stash occupancy."""
+
+    def __init__(self, name: str, bucket_width: int = 1) -> None:
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        self.name = name
+        self.bucket_width = bucket_width
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+
+    def record(self, value: int) -> None:
+        bucket = value // self.bucket_width
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        self.count += 1
+
+    def quantile(self, q: float) -> int:
+        """Return the lower edge of the bucket containing quantile ``q``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0
+        target = q * self.count
+        seen = 0
+        for bucket in sorted(self.buckets):
+            seen += self.buckets[bucket]
+            if seen >= target:
+                return bucket * self.bucket_width
+        return max(self.buckets) * self.bucket_width
+
+    @property
+    def max_value(self) -> int:
+        if not self.buckets:
+            return 0
+        return max(self.buckets) * self.bucket_width
+
+
+class StatSet:
+    """A flat namespace of named statistics owned by one component.
+
+    Components create stats lazily (``stats.counter("reads")``) so that a
+    model only pays for what it records, and the analysis layer can walk
+    everything via :meth:`as_dict`.
+    """
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self._counters: Dict[str, Counter] = {}
+        self._latencies: Dict[str, LatencyStat] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(f"{self.owner}.{name}")
+        return self._counters[name]
+
+    def latency(self, name: str) -> LatencyStat:
+        if name not in self._latencies:
+            self._latencies[name] = LatencyStat(f"{self.owner}.{name}")
+        return self._latencies[name]
+
+    def histogram(self, name: str, bucket_width: int = 1) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(
+                f"{self.owner}.{name}", bucket_width
+            )
+        return self._histograms[name]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to ``{name: value}`` for reporting."""
+        out: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, stat in self._latencies.items():
+            out[f"{name}.count"] = stat.count
+            out[f"{name}.mean"] = stat.mean
+        for name, hist in self._histograms.items():
+            out[f"{name}.max"] = hist.max_value
+        return out
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper's summary statistic for per-app slowdowns."""
+    vals: List[float] = [v for v in values]
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

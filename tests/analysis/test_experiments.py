@@ -1,0 +1,82 @@
+"""Experiment drivers: structure and caching (tiny scale)."""
+
+import pytest
+
+from repro.analysis import experiments
+
+TRACE = 500
+BENCHES = ("li", "bl")
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    experiments.clear_cache()
+    yield
+
+
+class TestCache:
+    def test_cached_run_reuses(self):
+        a = experiments.cached_run("1ns", "li", TRACE)
+        b = experiments.cached_run("1ns", "li", TRACE)
+        assert a is b
+
+    def test_cache_keys_on_scheme(self):
+        a = experiments.cached_run("1ns", "li", TRACE)
+        b = experiments.cached_run("7ns-4ch", "li", TRACE)
+        assert a is not b
+
+
+class TestFig4:
+    def test_structure(self):
+        data = experiments.fig4(BENCHES, TRACE)
+        assert set(data) == set(experiments.FIG4_SCHEMES)
+        for rows in data.values():
+            assert {"best", "worst", "gmean"} <= set(rows)
+            assert rows["best"] <= rows["gmean"] <= rows["worst"]
+
+    def test_corun_always_slower_than_solo(self):
+        data = experiments.fig4(BENCHES, TRACE)
+        for scheme, rows in data.items():
+            for code in BENCHES:
+                assert rows[code] > 1.0, (scheme, code)
+
+
+class TestTable1:
+    def test_three_rows_matching_paper(self):
+        rows = experiments.table1()
+        assert [r["k"] for r in rows] == [1, 2, 3]
+        for row in rows:
+            assert row["secure_share"] == pytest.approx(
+                row["paper_secure"], abs=0.001)
+            assert row["layout_secure"] == pytest.approx(
+                row["paper_secure"], abs=0.01)
+
+
+class TestFig9Fig11:
+    def test_fig11_sweep_structure(self):
+        data = experiments.fig11(("li",), TRACE, c_values=(0, 4, 7))
+        row = data["li"]
+        assert {"c0", "c4", "c7", "7ns-3ch", "7ns-4ch", "best_c"} <= set(row)
+        assert row["best_c"] in (0.0, 4.0, 7.0)
+
+    def test_fig9_normalized_to_baseline(self):
+        data = experiments.fig9(("li",), TRACE)
+        assert data["li"]["baseline"] == 1.0
+        assert "gmean" in data
+        # D-ORAM/X is the min over the sweep, so <= plain D-ORAM.
+        assert data["li"]["doram_x"] <= data["li"]["doram"] + 1e-9
+
+
+class TestFig10:
+    def test_relative_to_doram(self):
+        data = experiments.fig10(("li",), TRACE, k_values=(1,))
+        assert data["li"]["doram"] == 1.0
+        assert data["li"]["k1"] > 0
+        assert "gmean" in data
+
+
+class TestFig13:
+    def test_latency_ratios_positive(self):
+        data = experiments.fig13(("li",), TRACE)
+        for key, value in data["li"].items():
+            assert value > 0

@@ -1,0 +1,40 @@
+"""Summary metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    normalized_times,
+    slowdown,
+    summarize_best_worst_gmean,
+)
+
+
+class TestSlowdown:
+    def test_basic(self):
+        assert slowdown(150, 100) == 1.5
+
+    def test_zero_reference(self):
+        with pytest.raises(ValueError):
+            slowdown(1, 0)
+
+
+class TestNormalize:
+    def test_reference_becomes_one(self):
+        out = normalized_times({"a": 200, "b": 100}, "b")
+        assert out == {"a": 2.0, "b": 1.0}
+
+    def test_missing_reference(self):
+        with pytest.raises(KeyError):
+            normalized_times({"a": 1}, "zzz")
+
+
+class TestSummary:
+    def test_best_worst_gmean(self):
+        best, worst, gm = summarize_best_worst_gmean([1.0, 2.0, 4.0])
+        assert best == 1.0
+        assert worst == 4.0
+        assert gm == pytest.approx(2.0)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            summarize_best_worst_gmean([])

@@ -1,0 +1,37 @@
+"""T25mix/T33 profiling pipeline (small scale)."""
+
+import pytest
+
+from repro.analysis.profiling import ProfileResult, profile_ratio
+
+TRACE = 600
+
+
+@pytest.fixture(scope="module")
+def libq_profile():
+    return profile_ratio("li", trace_length=TRACE)
+
+
+class TestProfileRatio:
+    def test_slowdowns_exceed_solo(self, libq_profile):
+        # Any co-run latency slowdown is > 1 relative to solo.
+        assert libq_profile.t25 > 1.0
+        assert libq_profile.t25mix > 1.0
+        assert libq_profile.t33 > 1.0
+
+    def test_mix_is_slower_than_clean_4ch(self, libq_profile):
+        # Adding the ORAM-loaded secure channel cannot speed things up.
+        assert libq_profile.t25mix >= libq_profile.t25 * 0.95
+
+    def test_ratio_consistent(self, libq_profile):
+        assert libq_profile.ratio == pytest.approx(
+            libq_profile.latency_25mix_ns / libq_profile.latency_33_ns
+        )
+
+    def test_decision_matches_ratio(self, libq_profile):
+        expected = "small" if libq_profile.ratio > 1 else "large"
+        assert libq_profile.decision.category == expected
+
+    def test_result_type(self, libq_profile):
+        assert isinstance(libq_profile, ProfileResult)
+        assert libq_profile.benchmark == "li"

@@ -1,0 +1,62 @@
+"""D-ORAM/c channel masks and the profiling rule."""
+
+import pytest
+
+from repro.core.channel_sharing import (
+    SharingDecision,
+    recommend_c,
+    sharing_targets,
+)
+
+
+class TestSharingTargets:
+    def test_c7_lets_everyone_in(self):
+        targets = sharing_targets(7, 7)
+        assert all(t == (0, 1, 2, 3) for t in targets.values())
+
+    def test_c0_excludes_secure_channel(self):
+        targets = sharing_targets(7, 0)
+        assert all(t == (1, 2, 3) for t in targets.values())
+
+    def test_partial_c(self):
+        targets = sharing_targets(7, 3)
+        assert sum(0 in t for t in targets.values()) == 3
+        assert all(
+            set(t) <= {0, 1, 2, 3} and {1, 2, 3} <= set(t)
+            for t in targets.values()
+        )
+
+    def test_c_out_of_range(self):
+        with pytest.raises(ValueError):
+            sharing_targets(7, 8)
+
+    def test_secure_channel_must_exist(self):
+        with pytest.raises(ValueError):
+            sharing_targets(7, 2, channels=(1, 2, 3))
+
+    def test_needs_a_normal_channel(self):
+        with pytest.raises(ValueError):
+            sharing_targets(2, 1, channels=(0,))
+
+
+class TestRecommendC:
+    def test_high_ratio_small_c(self):
+        decision = recommend_c(1.4)
+        assert decision.category == "small"
+        assert decision.suggested_c < 4
+
+    def test_low_ratio_large_c(self):
+        decision = recommend_c(0.8)
+        assert decision.category == "large"
+        assert decision.suggested_c >= 4
+
+    def test_boundary_exactly_one_is_large(self):
+        # r <= 1: "better to fully utilize all channels".
+        assert recommend_c(1.0).category == "large"
+
+    def test_ratio_recorded(self):
+        assert recommend_c(1.23).ratio == 1.23
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            recommend_c(0.0)

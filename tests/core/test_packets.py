@@ -1,0 +1,69 @@
+"""Secure packet encoding (Fig. 6 format)."""
+
+import pytest
+
+from repro.core.config import PACKET_BYTES, SHORT_PACKET_BYTES
+from repro.core.packets import PacketType, SecurePacket, ShortReadPacket
+from repro.crypto.otp import OtpEngine
+
+
+class TestSecurePacket:
+    def test_wire_size_is_72_bytes(self):
+        assert len(SecurePacket.read_request(0x1234).encode()) == PACKET_BYTES
+
+    def test_round_trip(self):
+        pkt = SecurePacket.write_request(0xDEAD_BEEF, b"\x5A" * 64)
+        assert SecurePacket.decode(pkt.encode()) == pkt
+
+    def test_type_bit_packed_in_header(self):
+        read = SecurePacket.read_request(0x77).encode()
+        write = SecurePacket.write_request(0x77, bytes(64)).encode()
+        # Same address, different type -> differ only in the top bit.
+        assert read[1:] == write[1:]
+        assert read[0] ^ write[0] == 0x80
+
+    def test_read_carries_dummy_data(self):
+        # III-B (1): reads always attach a 64 B data field so request
+        # types are indistinguishable by length.
+        pkt = SecurePacket.read_request(5)
+        assert pkt.data == bytes(64)
+        assert len(pkt.encode()) == len(
+            SecurePacket.write_request(5, b"x" * 64).encode()
+        )
+
+    def test_address_width(self):
+        SecurePacket.read_request((1 << 63) - 1)  # max ok
+        with pytest.raises(ValueError):
+            SecurePacket(PacketType.READ, 1 << 63)
+
+    def test_data_size_checked(self):
+        with pytest.raises(ValueError):
+            SecurePacket(PacketType.WRITE, 0, b"short")
+
+    def test_decode_size_checked(self):
+        with pytest.raises(ValueError):
+            SecurePacket.decode(b"x" * 10)
+
+    def test_seal_open_through_otp_engine(self):
+        cpu = OtpEngine(b"K" * 16, 3)
+        sd = OtpEngine(b"K" * 16, 3)
+        pkt = SecurePacket.write_request(0xABC, b"\x10" * 64)
+        sealed = cpu.seal(pkt.encode())
+        assert SecurePacket.decode(sd.open(sealed)) == pkt
+
+
+class TestShortReadPacket:
+    def test_wire_size(self):
+        assert len(ShortReadPacket(0x123).encode()) == SHORT_PACKET_BYTES
+
+    def test_round_trip(self):
+        pkt = ShortReadPacket(0xFEED)
+        assert ShortReadPacket.decode(pkt.encode()) == pkt
+
+    def test_smaller_than_full_packet(self):
+        # The split-tree read omits the data field (III-C).
+        assert SHORT_PACKET_BYTES < PACKET_BYTES
+
+    def test_decode_size_checked(self):
+        with pytest.raises(ValueError):
+            ShortReadPacket.decode(b"x" * 3)

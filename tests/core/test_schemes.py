@@ -1,0 +1,64 @@
+"""Scheme name parsing and configuration shapes."""
+
+import pytest
+
+from repro.core.schemes import SCHEMES, make_config
+
+
+class TestSchemeParsing:
+    def test_canonical_names_parse(self):
+        for name in SCHEMES:
+            make_config(name)
+
+    def test_1ns(self):
+        cfg = make_config("1ns")
+        assert cfg.num_ns_apps == 1
+        assert not cfg.has_s_app
+        assert cfg.arch == "direct"
+
+    def test_7ns_3ch_excludes_channel0(self):
+        cfg = make_config("7ns-3ch")
+        assert cfg.ns_channels == (1, 2, 3)
+        assert not cfg.has_s_app
+
+    def test_baseline_is_onchip_path_oram(self):
+        cfg = make_config("baseline")
+        assert cfg.protection == "path"
+        assert cfg.oram_placement == "onchip"
+        assert cfg.arch == "direct"
+        assert cfg.has_s_app
+
+    def test_securemem(self):
+        assert make_config("securemem").protection == "securemem"
+
+    def test_doram(self):
+        cfg = make_config("doram")
+        assert cfg.arch == "bob"
+        assert cfg.oram_placement == "delegated"
+        assert cfg.split_k == 0
+        assert cfg.c_limit is None
+
+    def test_doram_plus_k(self):
+        assert make_config("doram+2").split_k == 2
+
+    def test_doram_slash_c(self):
+        assert make_config("doram/3").c_limit == 3
+
+    def test_doram_combined(self):
+        cfg = make_config("doram+1/4")
+        assert cfg.split_k == 1
+        assert cfg.c_limit == 4
+
+    def test_case_insensitive(self):
+        assert make_config("DORAM+1/4").split_k == 1
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_config("moram")
+
+    def test_overrides_pass_through(self):
+        cfg = make_config("doram", benchmark="mu", trace_length=123,
+                          t_cycles=99)
+        assert cfg.benchmark == "mu"
+        assert cfg.trace_length == 123
+        assert cfg.t_cycles == 99

@@ -1,0 +1,67 @@
+"""Table I: analytic space shares and extra-message counts."""
+
+import pytest
+
+from repro.core.tree_split import (
+    TABLE_I,
+    split_extra_messages,
+    split_space_shares,
+)
+
+
+class TestSpaceShares:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_matches_paper_table1(self, k):
+        shares = split_space_shares(k)
+        assert shares["secure"] == pytest.approx(TABLE_I[k]["secure"],
+                                                 abs=0.001)
+        assert shares["normal"] == pytest.approx(TABLE_I[k]["normal"],
+                                                 abs=0.001)
+
+    def test_shares_sum_to_one(self):
+        for k in range(5):
+            shares = split_space_shares(k)
+            total = shares["secure"] + 3 * shares["normal"]
+            assert total == pytest.approx(1.0)
+
+    def test_k_zero_keeps_everything_local(self):
+        shares = split_space_shares(0)
+        assert shares["secure"] == 1.0
+        assert shares["normal"] == 0.0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            split_space_shares(-1)
+
+    def test_capacity_doubles_per_level(self):
+        # k=1 halves the secure share because the new level equals the
+        # whole original tree in size.
+        assert split_space_shares(1)["secure"] == pytest.approx(0.5,
+                                                                abs=1e-6)
+
+
+class TestExtraMessages:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_secure_channel_counts(self, k):
+        # Table I: 4k short reads, 4k responses, 4k writes on channel #0.
+        m = split_extra_messages(k)
+        assert m.secure_short_reads == 4 * k
+        assert m.secure_responses == 4 * k
+        assert m.secure_writes == 4 * k
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_normal_channel_bounds(self, k):
+        # Table I: m in [k, 2k] per normal channel.
+        m = split_extra_messages(k)
+        assert m.normal_min == k
+        assert m.normal_max == 2 * k
+        assert m.normal_min <= m.normal_expected <= m.normal_max
+
+    def test_expected_value(self):
+        # k fixed + k/3 rotating on average.
+        assert split_extra_messages(3).normal_expected == pytest.approx(4.0)
+
+    def test_zero_k(self):
+        m = split_extra_messages(0)
+        assert m.secure_short_reads == 0
+        assert m.normal_max == 0

@@ -1,0 +1,100 @@
+"""Last-level cache model."""
+
+import pytest
+
+from repro.cpu.cache import CacheParams, LastLevelCache
+from repro.trace.trace_format import TraceRecord
+
+
+def small_cache(ways=2, sets=4):
+    return LastLevelCache(CacheParams(
+        capacity_bytes=64 * ways * sets, line_bytes=64, ways=ways,
+    ))
+
+
+class TestGeometry:
+    def test_default_is_4mb_16way(self):
+        cache = LastLevelCache()
+        assert cache.params.num_sets == 4 * 1024 * 1024 // (64 * 16)
+
+    def test_capacity_must_divide(self):
+        with pytest.raises(ValueError):
+            CacheParams(capacity_bytes=100, line_bytes=64, ways=2).num_sets
+
+
+class TestAccessBehaviour:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.access(0, False) == [("fill", 0)]
+        assert cache.access(0, False) == []
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.access(0, False)
+        cache.access(1, False)
+        cache.access(0, False)          # touch 0: 1 becomes LRU
+        tx = cache.access(2, False)     # evicts 1 (clean -> no writeback)
+        assert tx == [("fill", 2)]
+        assert cache.access(1, False) == [("fill", 1)]  # 1 was evicted
+
+    def test_dirty_eviction_writes_back(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.access(0, True)
+        tx = cache.access(1, False)
+        assert ("writeback", 0) in tx
+        assert cache.writebacks == 1
+
+    def test_write_hit_sets_dirty(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.access(0, False)
+        cache.access(0, True)  # hit, marks dirty
+        tx = cache.access(1, False)
+        assert ("writeback", 0) in tx
+
+    def test_sets_isolate_lines(self):
+        cache = small_cache(ways=1, sets=4)
+        cache.access(0, False)
+        cache.access(1, False)  # different set: no eviction
+        assert cache.access(0, False) == []
+
+    def test_hit_rate(self):
+        cache = small_cache()
+        cache.access(0, False)
+        cache.access(0, False)
+        assert cache.hit_rate == 0.5
+
+
+class TestTraceFiltering:
+    def test_hits_fold_gaps_into_next_miss(self):
+        cache = small_cache(ways=4, sets=4)
+        records = [
+            TraceRecord(10, False, 0),   # miss
+            TraceRecord(10, False, 0),   # hit -> gap carried
+            TraceRecord(10, False, 99),  # miss, carries 11 extra instrs
+        ]
+        out = list(cache.filter_trace(iter(records)))
+        assert len(out) == 2
+        assert out[1].gap == 10 + 11
+
+    def test_instruction_count_preserved(self):
+        cache = small_cache(ways=2, sets=2)
+        # Distinct cold lines: every access misses, the last one included,
+        # so no gap instructions are left carried at the end.
+        records = [TraceRecord(7, False, 100 + i * 13) for i in range(20)]
+        total_in = sum(r.instructions for r in records)
+        out = list(cache.filter_trace(iter(records)))
+        fills = [r for r in out if not r.is_write]
+        writebacks = [r for r in out if r.is_write]
+        total_out = sum(r.instructions for r in fills)
+        # Each fill accounts for its access plus carried gap; writebacks
+        # add one instruction each (their own record), which are extra
+        # memory operations, not program instructions.
+        assert total_out == total_in
+        assert all(r.gap == 0 for r in writebacks)
+
+    def test_write_misses_fill_as_reads(self):
+        cache = small_cache()
+        out = list(cache.filter_trace(iter([TraceRecord(0, True, 5)])))
+        assert len(out) == 1
+        assert not out[0].is_write  # write-allocate fill is a read

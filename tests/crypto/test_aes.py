@@ -1,0 +1,97 @@
+"""AES-128 against FIPS-197 and structural properties."""
+
+import pytest
+
+from repro.crypto.aes import AES128, INV_SBOX, SBOX, gf_mul
+
+
+class TestGaloisField:
+    def test_identity(self):
+        assert gf_mul(0x57, 1) == 0x57
+
+    def test_fips_example(self):
+        # FIPS-197 Section 4.2: {57} x {83} = {c1}.
+        assert gf_mul(0x57, 0x83) == 0xC1
+
+    def test_xtime_chain(self):
+        # {57} x {13} = {fe} (FIPS-197 4.2.1 worked example).
+        assert gf_mul(0x57, 0x13) == 0xFE
+
+    def test_commutative(self):
+        for a, b in [(0x03, 0x09), (0x0E, 0x0B), (0xFF, 0x02)]:
+            assert gf_mul(a, b) == gf_mul(b, a)
+
+
+class TestSbox:
+    def test_known_entries(self):
+        # FIPS-197 Figure 7 spot checks.
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inverse_consistent(self):
+        assert all(INV_SBOX[SBOX[i]] == i for i in range(256))
+
+    def test_no_fixed_points(self):
+        assert all(SBOX[i] != i for i in range(256))
+
+
+class TestCipher:
+    KEY = bytes(range(16))
+    PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+    CT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+    def test_fips197_appendix_c(self):
+        assert AES128(self.KEY).encrypt_block(self.PT) == self.CT
+
+    def test_decrypt_inverts(self):
+        aes = AES128(self.KEY)
+        assert aes.decrypt_block(self.CT) == self.PT
+
+    def test_round_trip_random_blocks(self):
+        import random
+        rng = random.Random(1)
+        aes = AES128(bytes(rng.randrange(256) for _ in range(16)))
+        for _ in range(10):
+            block = bytes(rng.randrange(256) for _ in range(16))
+            assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+    def test_key_sensitivity(self):
+        ct1 = AES128(b"\x00" * 16).encrypt_block(self.PT)
+        ct2 = AES128(b"\x00" * 15 + b"\x01").encrypt_block(self.PT)
+        assert ct1 != ct2
+
+    def test_wrong_key_size_rejected(self):
+        with pytest.raises(ValueError):
+            AES128(b"short")
+
+    def test_wrong_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            AES128(self.KEY).encrypt_block(b"tiny")
+
+
+class TestKeystream:
+    def test_length_exact(self):
+        aes = AES128(b"k" * 16)
+        assert len(aes.keystream(0, 0, 72)) == 72
+        assert len(aes.keystream(0, 0, 16)) == 16
+        assert len(aes.keystream(0, 0, 1)) == 1
+
+    def test_deterministic(self):
+        aes = AES128(b"k" * 16)
+        assert aes.keystream(5, 9, 64) == aes.keystream(5, 9, 64)
+
+    def test_counter_separates_streams(self):
+        aes = AES128(b"k" * 16)
+        assert aes.keystream(0, 0, 32) != aes.keystream(0, 64, 32)
+
+    def test_nonce_separates_streams(self):
+        aes = AES128(b"k" * 16)
+        assert aes.keystream(1, 0, 32) != aes.keystream(2, 0, 32)
+
+    def test_prefix_property(self):
+        aes = AES128(b"k" * 16)
+        assert aes.keystream(3, 0, 64)[:32] == aes.keystream(3, 0, 32)

@@ -1,0 +1,34 @@
+"""MAC tags."""
+
+import pytest
+
+from repro.crypto.mac import mac_tag, mac_verify
+
+
+class TestMac:
+    def test_verify_accepts_valid(self):
+        tag = mac_tag(b"key", b"message")
+        assert mac_verify(b"key", b"message", tag)
+
+    def test_verify_rejects_tampered_message(self):
+        tag = mac_tag(b"key", b"message")
+        assert not mac_verify(b"key", b"messagX", tag)
+
+    def test_verify_rejects_wrong_key(self):
+        tag = mac_tag(b"key", b"message")
+        assert not mac_verify(b"yek", b"message", tag)
+
+    def test_tag_length(self):
+        assert len(mac_tag(b"k", b"m", tag_bytes=12)) == 12
+
+    def test_tag_deterministic(self):
+        assert mac_tag(b"k", b"m") == mac_tag(b"k", b"m")
+
+    def test_bad_tag_size_rejected(self):
+        with pytest.raises(ValueError):
+            mac_tag(b"k", b"m", tag_bytes=2)
+        with pytest.raises(ValueError):
+            mac_tag(b"k", b"m", tag_bytes=64)
+
+    def test_truncation_consistency(self):
+        assert mac_tag(b"k", b"m", 8) == mac_tag(b"k", b"m", 16)[:8]

@@ -1,0 +1,80 @@
+"""Cross-cutting end-to-end checks: determinism, conservation, scaling."""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.core.schemes import run_scheme
+
+TRACE = 800
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("scheme", ["baseline", "doram", "doram+1/4"])
+    def test_bit_identical_reruns(self, scheme):
+        a = run_scheme(scheme, "c2", TRACE)
+        b = run_scheme(scheme, "c2", TRACE)
+        assert a.ns_finish == b.ns_finish
+        assert a.events == b.events
+        assert a.ns_read_latency.total == b.ns_read_latency.total
+        assert a.channels == b.channels
+
+
+class TestConservation:
+    def test_every_ns_load_is_serviced(self):
+        r = run_scheme("7ns-4ch", "li", TRACE)
+        serviced = sum(row["reads"] for row in r.channels.values())
+        assert serviced == r.ns_read_latency.count
+
+    def test_oram_block_count_matches_protocol(self):
+        # Each ORAM access reads exactly 84 blocks (L=23, Z=4, top 3
+        # cached).  Totals on the secure sub-channels must be a multiple.
+        r = run_scheme("doram", "li", TRACE)
+        secure_reads = sum(
+            row["secure_reads"] for name, row in r.channels.items()
+            if name.startswith("ch0")
+        )
+        accesses = r.s_app["oram_accesses"]
+        blocks_per_access = 84
+        # The final access may be cut off by simulation end.
+        assert secure_reads >= (accesses - 2) * blocks_per_access
+        assert secure_reads <= accesses * blocks_per_access
+
+    def test_finish_times_bounded_by_sim_end(self):
+        r = run_scheme("doram", "bl", TRACE)
+        assert all(t <= r.end_time for t in r.ns_finish.values())
+
+
+class TestScaleStability:
+    """The headline ordering must not be an artifact of trace length."""
+
+    @pytest.mark.parametrize("length", [600, 1800])
+    def test_doram_beats_baseline_at_any_scale(self, length):
+        base = run_scheme("baseline", "li", length).ns_mean_time()
+        doram = run_scheme("doram", "li", length).ns_mean_time()
+        assert doram < base
+
+    def test_longer_traces_take_longer(self):
+        short = run_scheme("7ns-4ch", "li", 600).ns_mean_time()
+        long = run_scheme("7ns-4ch", "li", 1800).ns_mean_time()
+        assert long > 2 * short
+
+
+class TestWorkloadSensitivity:
+    def test_memory_intensity_orders_exec_time(self):
+        # face (MPKI 26.8) has more misses than comm4 (MPKI 3.7): per
+        # retired instruction it must spend more time.
+        heavy = run_scheme("7ns-4ch", "fa", TRACE)
+        light = run_scheme("7ns-4ch", "c4", TRACE)
+        # Normalize finish time by instruction count (gap differs).
+        heavy_instr = 1000 * TRACE / 26.8
+        light_instr = 1000 * TRACE / 3.7
+        assert (heavy.ns_mean_time() / heavy_instr
+                > light.ns_mean_time() / light_instr)
+
+    def test_streaming_row_hits_exceed_pointer_chasing(self):
+        stream = run_scheme("1ns", "li", TRACE)
+        chase = run_scheme("1ns", "mu", TRACE)
+        def hit_rate(result):
+            rows = [r for r in result.channels.values() if r["reads"] > 0]
+            return sum(r["row_hit_rate"] for r in rows) / len(rows)
+        assert hit_rate(stream) > hit_rate(chase)

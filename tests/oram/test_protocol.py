@@ -1,0 +1,97 @@
+"""Greedy eviction and protocol state."""
+
+import pytest
+
+from repro.oram.config import OramConfig
+from repro.oram.protocol import ProtocolState, greedy_evict
+from repro.oram.stash import Stash
+from repro.oram.tree import TreeGeometry
+
+
+def geometry(leaf_level=3):
+    return TreeGeometry(OramConfig(
+        leaf_level=leaf_level, treetop_levels=0, subtree_levels=2,
+    ))
+
+
+class TestGreedyEvict:
+    def test_block_lands_as_deep_as_possible(self):
+        g = geometry()
+        stash = Stash()
+        stash.put(1, leaf=5, payload=None)
+        plan = greedy_evict(g, stash, leaf=5, bucket_size=4)
+        leaf_bucket = g.path_buckets(5)[-1]
+        assert plan[leaf_bucket] == [1]
+
+    def test_divergent_block_stops_at_shared_level(self):
+        g = geometry()  # leaves 0..7
+        stash = Stash()
+        stash.put(1, leaf=7, payload=None)  # shares only the root with leaf 0
+        plan = greedy_evict(g, stash, leaf=0, bucket_size=4)
+        assert plan[1] == [1]  # root
+        for bucket, ids in plan.items():
+            if bucket != 1:
+                assert ids == []
+
+    def test_bucket_capacity_respected(self):
+        g = geometry()
+        stash = Stash()
+        for i in range(10):
+            stash.put(i, leaf=5, payload=None)
+        plan = greedy_evict(g, stash, leaf=5, bucket_size=4)
+        assert all(len(ids) <= 4 for ids in plan.values())
+        placed = [b for ids in plan.values() for b in ids]
+        assert len(placed) == len(set(placed))  # no double placement
+
+    def test_every_path_bucket_in_plan(self):
+        g = geometry()
+        plan = greedy_evict(g, Stash(), leaf=3, bucket_size=4)
+        assert set(plan) == set(g.path_buckets(3))
+
+    def test_deeper_spot_preferred_over_root(self):
+        g = geometry()
+        stash = Stash()
+        # Leaf 4 shares levels 0..1 with leaf 5 (parent of leaves 4,5).
+        stash.put(1, leaf=4, payload=None)
+        plan = greedy_evict(g, stash, leaf=5, bucket_size=4)
+        level2_bucket = g.bucket_on_path(5, 2)
+        assert plan[level2_bucket] == [1]
+
+    def test_placement_always_on_assigned_path(self):
+        g = geometry(leaf_level=5)
+        stash = Stash()
+        import random
+        rng = random.Random(4)
+        for i in range(40):
+            stash.put(i, leaf=rng.randrange(32), payload=None)
+        leaf = 17
+        plan = greedy_evict(g, stash, leaf, bucket_size=4)
+        for bucket, ids in plan.items():
+            level = g.level_of(bucket)
+            for block_id in ids:
+                block_leaf = stash.get(block_id)[0]
+                assert g.bucket_on_path(block_leaf, level) == bucket
+
+
+class TestProtocolState:
+    def test_access_begin_remaps(self):
+        state = ProtocolState(OramConfig(leaf_level=6, treetop_levels=0,
+                                         subtree_levels=2), seed=1)
+        old, new = state.access_begin(5)
+        assert state.position_map.lookup(5) == new
+        assert state.real_accesses == 1
+
+    def test_dummy_path_in_range(self):
+        cfg = OramConfig(leaf_level=5, treetop_levels=0, subtree_levels=2)
+        state = ProtocolState(cfg, seed=2)
+        for _ in range(50):
+            assert 0 <= state.dummy_path() < cfg.num_leaves
+        assert state.dummy_accesses == 50
+
+    def test_lazy_vs_dense_selectable(self):
+        cfg = OramConfig(leaf_level=5, treetop_levels=0, subtree_levels=2)
+        from repro.oram.position_map import DensePositionMap, LazyPositionMap
+        assert isinstance(ProtocolState(cfg, lazy=True).position_map,
+                          LazyPositionMap)
+        assert isinstance(ProtocolState(cfg, lazy=False).position_map,
+                          DensePositionMap)

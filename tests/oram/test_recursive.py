@@ -1,0 +1,95 @@
+"""Recursive position-map ORAM."""
+
+import random
+
+import pytest
+
+from repro.oram.config import OramConfig
+from repro.oram.path_oram import PathOram
+from repro.oram.recursive import RecursivePathOram
+
+CFG = OramConfig(leaf_level=8, treetop_levels=0, subtree_levels=1)
+
+
+class TestExternalPositions:
+    def test_access_at_requires_flag(self):
+        oram = PathOram(CFG, seed=1)
+        with pytest.raises(RuntimeError):
+            oram.access_at(0, 0, 1)
+
+    def test_access_at_round_trip(self):
+        oram = PathOram(CFG, seed=1, external_positions=True)
+        oram.access_at(5, old_leaf=10, new_leaf=20,
+                       mutate=lambda _d: b"\x77" * 64)
+        assert oram.access_at(5, old_leaf=20, new_leaf=30) == b"\x77" * 64
+        oram.check_invariants()
+
+    def test_mutate_returns_pre_image(self):
+        oram = PathOram(CFG, seed=1, external_positions=True)
+        oram.access_at(5, 0, 1, mutate=lambda _d: b"\x11" * 64)
+        pre = oram.access_at(5, 1, 2, mutate=lambda _d: b"\x22" * 64)
+        assert pre == b"\x11" * 64
+
+    def test_mutate_must_preserve_size(self):
+        oram = PathOram(CFG, seed=1, external_positions=True)
+        with pytest.raises(ValueError):
+            oram.access_at(5, 0, 1, mutate=lambda _d: b"short")
+
+
+class TestRecursion:
+    def test_recursion_depth(self):
+        # 2^8 leaves -> ~2000 user blocks -> /8 -> 256 -> /8 -> 32 <= 64.
+        oram = RecursivePathOram(CFG, client_entries=64, seed=3)
+        assert oram.num_levels == 3
+        assert len(oram.client_map) <= 64
+
+    def test_degenerate_single_level(self):
+        small = OramConfig(leaf_level=3, treetop_levels=0, subtree_levels=1)
+        oram = RecursivePathOram(small, client_entries=10_000, seed=1)
+        assert oram.num_levels == 1
+        oram.write(3, b"\x12" * 64)
+        assert oram.read(3) == b"\x12" * 64
+
+    def test_read_returns_last_write(self):
+        oram = RecursivePathOram(CFG, seed=5)
+        oram.write(100, b"\xAB" * 64)
+        oram.write(101, b"\xCD" * 64)
+        assert oram.read(100) == b"\xAB" * 64
+        assert oram.read(101) == b"\xCD" * 64
+
+    def test_unwritten_reads_zero(self):
+        oram = RecursivePathOram(CFG, seed=5)
+        assert oram.read(42) == bytes(64)
+
+    def test_random_operations(self):
+        oram = RecursivePathOram(CFG, seed=7)
+        rng = random.Random(0)
+        reference = {}
+        for _ in range(150):
+            block = rng.randrange(oram.num_user_blocks)
+            if rng.random() < 0.5:
+                data = bytes([rng.randrange(256)]) * 64
+                oram.write(block, data)
+                reference[block] = data
+            else:
+                assert oram.read(block) == reference.get(block, bytes(64))
+        oram.check_invariants()
+
+    def test_access_amplification_reported(self):
+        oram = RecursivePathOram(CFG, seed=3)
+        assert oram.paths_per_access() == oram.num_levels
+
+    def test_map_updates_survive_repeat_access(self):
+        # The killer bug in recursive ORAMs is a stale map entry; hammer
+        # one block through many remaps.
+        oram = RecursivePathOram(CFG, seed=9)
+        oram.write(17, b"\x55" * 64)
+        for _ in range(30):
+            assert oram.read(17) == b"\x55" * 64
+        oram.check_invariants()
+
+    def test_invariants_across_levels(self):
+        oram = RecursivePathOram(CFG, seed=11)
+        for i in range(40):
+            oram.write(i * 13 % oram.num_user_blocks, bytes([i]) * 64)
+        oram.check_invariants()

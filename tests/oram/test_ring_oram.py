@@ -1,0 +1,116 @@
+"""Ring ORAM: correctness, invariants, bandwidth advantage."""
+
+import random
+
+import pytest
+
+from repro.oram.config import OramConfig
+from repro.oram.path_oram import PathOram
+from repro.oram.ring_oram import RingOram, RingParams
+
+CFG = OramConfig(leaf_level=5, treetop_levels=0, subtree_levels=2)
+
+
+def make_ring(**kw):
+    return RingOram(CFG, seed=3, **kw)
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            RingParams(bucket_real=0)
+        with pytest.raises(ValueError):
+            RingParams(evict_rate=0)
+
+    def test_z_must_match_config(self):
+        with pytest.raises(ValueError):
+            RingOram(CFG, params=RingParams(bucket_real=8))
+
+    def test_large_tree_rejected(self):
+        with pytest.raises(ValueError):
+            RingOram(OramConfig(leaf_level=20))
+
+
+class TestCorrectness:
+    def test_unwritten_reads_zero(self):
+        assert make_ring().read(0) == bytes(64)
+
+    def test_write_then_read(self):
+        ring = make_ring()
+        ring.write(7, b"\x44" * 64)
+        assert ring.read(7) == b"\x44" * 64
+
+    def test_random_operations_match_reference(self):
+        ring = make_ring()
+        rng = random.Random(1)
+        reference = {}
+        for _ in range(300):
+            block = rng.randrange(CFG.num_user_blocks)
+            if rng.random() < 0.5:
+                data = bytes([rng.randrange(256)]) * 64
+                ring.write(block, data)
+                reference[block] = data
+            else:
+                assert ring.read(block) == reference.get(block, bytes(64))
+        ring.check_invariants()
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_ring().write(0, b"x")
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            make_ring().read(CFG.num_user_blocks)
+
+
+class TestInvariantsAndMaintenance:
+    def test_invariants_under_load(self):
+        ring = make_ring()
+        rng = random.Random(9)
+        for i in range(150):
+            ring.write(rng.randrange(CFG.num_user_blocks),
+                       bytes([i % 256]) * 64)
+            if i % 25 == 0:
+                ring.check_invariants()
+        ring.check_invariants()
+
+    def test_stash_bounded(self):
+        ring = make_ring()
+        rng = random.Random(2)
+        for _ in range(400):
+            ring.read(rng.randrange(CFG.num_user_blocks))
+        assert ring.stash.peak < 120
+
+    def test_eviction_happens_at_rate(self):
+        ring = make_ring(params=RingParams(evict_rate=2))
+        for i in range(10):
+            ring.read(i)
+        # 5 eviction paths of (L+1) buckets each have been rewritten.
+        assert ring.blocks_written >= 5 * CFG.num_levels * 4
+
+    def test_reverse_lex_order_covers_leaves(self):
+        ring = make_ring()
+        leaves = {ring._reverse_lex_leaf(i) for i in range(CFG.num_leaves)}
+        assert leaves == set(range(CFG.num_leaves))
+
+
+class TestBandwidth:
+    def test_online_cost_is_one_block_per_level(self):
+        ring = make_ring(params=RingParams(evict_rate=10**9, dummies=10**6))
+        before = ring.blocks_read
+        ring.read(0)
+        # Pure online phase: exactly one block per path bucket.
+        assert ring.blocks_read - before == CFG.num_levels
+
+    def test_amortized_cheaper_than_path_oram(self):
+        ring = make_ring()
+        path = PathOram(CFG, seed=3)
+        rng = random.Random(4)
+        ops = [rng.randrange(CFG.num_user_blocks) for _ in range(300)]
+        for b in ops:
+            ring.read(b)
+        for b in ops:
+            path.read(b)
+        # Path ORAM moves 2 * Z * levels blocks per access.
+        path_blocks = 2 * CFG.bucket_size * CFG.num_levels
+        assert ring.amortized_blocks_per_access() < path_blocks

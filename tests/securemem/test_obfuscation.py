@@ -1,0 +1,100 @@
+"""Secure-memory model: replication, obfuscation, completion semantics."""
+
+from typing import List
+
+import pytest
+
+from repro.dram.address_mapping import ChannelInterleaver
+from repro.dram.channel import Channel
+from repro.dram.commands import OpType
+from repro.securemem import SecureMemPort
+from repro.sim.engine import Engine
+
+
+def make_port(num_channels=4, window=16):
+    eng = Engine()
+    channels = {
+        (ch, 0): Channel(eng, f"ch{ch}") for ch in range(num_channels)
+    }
+    interleaver = ChannelInterleaver(sorted(channels.keys()))
+    port = SecureMemPort(eng, channels, interleaver, app_id=7,
+                         window=window, seed=1)
+    return eng, channels, port
+
+
+class TestReplication:
+    def test_one_access_touches_every_channel(self):
+        eng, channels, port = make_port()
+        port.issue(OpType.READ, 0, 7, None)
+        eng.run()
+        for channel in channels.values():
+            assert channel.stats.counter("reads_serviced").value == 1
+
+    def test_exactly_one_real_and_n_minus_1_dummies(self):
+        eng, channels, port = make_port()
+        port.issue(OpType.READ, 0, 7, None)
+        eng.run()
+        assert port.stats.counter("real_requests").value == 1
+        assert port.stats.counter("dummy_requests").value == 3
+
+    def test_completion_waits_for_slowest_replica(self):
+        eng, channels, port = make_port()
+        done: List[int] = []
+        port.issue(OpType.READ, 0, 7, done.append)
+        eng.run()
+        assert len(done) == 1
+        # Single accesses: all replicas take the closed-row latency; the
+        # callback adds the crypto overhead on top.
+        assert done[0] > 0
+
+    def test_crypto_overhead_applied(self):
+        eng_a, _, port_a = make_port()
+        done_a: List[int] = []
+        port_a.issue(OpType.READ, 0, 7, done_a.append)
+        eng_a.run()
+
+        eng_b = Engine()
+        channels_b = {(ch, 0): Channel(eng_b, f"ch{ch}") for ch in range(4)}
+        port_b = SecureMemPort(
+            eng_b, channels_b, ChannelInterleaver(sorted(channels_b)),
+            app_id=7, crypto_overhead_ns=0.0, seed=1,
+        )
+        done_b: List[int] = []
+        port_b.issue(OpType.READ, 0, 7, done_b.append)
+        eng_b.run()
+        assert done_a[0] - done_b[0] == 12 * 16  # 12 ns in ticks
+
+
+class TestWindow:
+    def test_window_backpressure(self):
+        eng, _, port = make_port(window=1)
+        port.issue(OpType.READ, 0, 7, None)
+        assert not port.can_accept(OpType.READ)
+        with pytest.raises(RuntimeError):
+            port.issue(OpType.READ, 1, 7, None)
+        woken: List[int] = []
+        port.notify_on_space(lambda: woken.append(eng.now))
+        eng.run()
+        assert woken
+        assert port.can_accept(OpType.READ)
+
+    def test_held_requests_drain_on_full_queue(self):
+        eng, channels, port = make_port(window=16)
+        done: List[int] = []
+        for i in range(16):
+            port.issue(OpType.READ, i * 7, 7, done.append)
+        eng.run()
+        assert len(done) == 16
+
+
+class TestTypeObfuscation:
+    def test_writes_also_replicate(self):
+        eng, channels, port = make_port()
+        port.issue(OpType.WRITE, 0, 7, None)
+        eng.run()
+        serviced = sum(
+            ch.stats.counter("writes_serviced").value
+            + ch.stats.counter("reads_serviced").value
+            for ch in channels.values()
+        )
+        assert serviced == 4

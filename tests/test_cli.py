@@ -1,0 +1,58 @@
+"""CLI: argument parsing and end-to-end command execution."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "doram"])
+        assert args.scheme == "doram"
+        assert args.benchmark == "libq"
+
+    def test_exp_choices(self):
+        args = build_parser().parse_args(["exp", "fig9"])
+        assert args.experiment == "fig9"
+
+    def test_exp_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["exp", "fig99"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_schemes_command(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "doram+K" in out
+        assert "mu(24.0)" in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "doram", "--benchmark", "li",
+                     "--trace-length", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "NS mean execution time" in out
+        assert "ch0.0" in out
+
+    def test_exp_table1(self, capsys):
+        assert main(["exp", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "0.292" in out  # k=3 normal share
+
+    def test_exp_fig10_tiny(self, capsys):
+        assert main(["exp", "fig10", "--benchmarks", "li",
+                     "--trace-length", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 10" in out
+        assert "gmean" in out
+
+    def test_profile_command(self, capsys):
+        assert main(["profile", "li", "--trace-length", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out
+        assert "category" in out

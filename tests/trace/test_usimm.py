@@ -1,0 +1,67 @@
+"""USIMM trace-format reader."""
+
+import io
+
+import pytest
+
+from repro.trace.trace_format import TraceRecord
+from repro.trace.usimm import read_usimm_trace, sniff_usimm
+
+SAMPLE = """\
+# comment
+250 R 7f3a40 4005d0
+3 W 7f3a80
+0 R 10000 4005d8
+"""
+
+
+class TestReader:
+    def test_parses_records(self):
+        records = list(read_usimm_trace(io.StringIO(SAMPLE)))
+        assert records == [
+            TraceRecord(250, False, 0x7F3A40 >> 6),
+            TraceRecord(3, True, 0x7F3A80 >> 6),
+            TraceRecord(0, False, 0x10000 >> 6),
+        ]
+
+    def test_line_size_folding(self):
+        records = list(
+            read_usimm_trace(io.StringIO("0 R 100 0\n"), line_bytes=128)
+        )
+        assert records[0].line_addr == 0x100 >> 7
+
+    def test_limit(self):
+        records = list(read_usimm_trace(io.StringIO(SAMPLE), limit=2))
+        assert len(records) == 2
+
+    def test_bad_line_size(self):
+        with pytest.raises(ValueError):
+            list(read_usimm_trace(io.StringIO(""), line_bytes=100))
+
+    def test_malformed_op(self):
+        with pytest.raises(ValueError, match="line 1"):
+            list(read_usimm_trace(io.StringIO("5 X 100\n")))
+
+    def test_write_with_pc_rejected(self):
+        with pytest.raises(ValueError):
+            list(read_usimm_trace(io.StringIO("5 W 100 200\n")))
+
+    def test_unparseable_fields(self):
+        with pytest.raises(ValueError):
+            list(read_usimm_trace(io.StringIO("x R 100\n")))
+
+
+class TestSniffer:
+    def test_detects_usimm_by_pc_column(self):
+        assert sniff_usimm("100 R 7f3a40 4005d0\n")
+
+    def test_detects_usimm_by_byte_addresses(self):
+        assert sniff_usimm("100 W 7f3a40\n")
+
+    def test_rejects_native_format(self):
+        # Native traces use small line indices.
+        assert not sniff_usimm("100 R 2a\n")
+
+    def test_rejects_garbage(self):
+        assert not sniff_usimm("hello world\n")
+        assert not sniff_usimm("")
