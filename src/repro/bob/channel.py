@@ -44,14 +44,17 @@ class BobChannel:
         link_params: LinkParams = LinkParams(),
         window: int = 64,
         packet_sizes: BobPacketSizes = BobPacketSizes(),
+        tracer=None,
     ) -> None:
         if not subchannels:
             raise ValueError("a BOB channel needs at least one sub-channel")
         self.engine = engine
         self.channel_id = channel_id
         self.subchannels = subchannels
-        self.down = SerialLink(engine, f"bob{channel_id}.down", link_params)
-        self.up = SerialLink(engine, f"bob{channel_id}.up", link_params)
+        self.down = SerialLink(engine, f"bob{channel_id}.down", link_params,
+                               tracer=tracer)
+        self.up = SerialLink(engine, f"bob{channel_id}.up", link_params,
+                             tracer=tracer)
         self.window = window
         self.packet_sizes = packet_sizes
         self.stats = StatSet(f"bob{channel_id}")
@@ -98,7 +101,8 @@ class BobChannel:
             on_complete=lambda t, r=None: self._dram_done(op, on_complete, t),
         )
         self.stats.counter("packets_down").add()
-        self.down.send(size, lambda _t, r=req: self._arrive(r))
+        self.down.send(size, lambda _t, r=req: self._arrive(r),
+                       tag="wdata" if op is OpType.WRITE else "req")
 
     def _arrive(self, req: MemRequest) -> None:
         """Packet reached the simple controller: queue into DRAM."""
@@ -126,6 +130,7 @@ class BobChannel:
             self.up.send(
                 self.packet_sizes.read_response,
                 lambda t: self._finish(on_complete, t),
+                tag="rdata",
             )
         else:
             self._finish(on_complete, time)
@@ -142,12 +147,14 @@ class BobChannel:
     # ------------------------------------------------------------------
     # Raw packet pipes (secure packets, cross-channel ORAM messages)
     # ------------------------------------------------------------------
-    def send_down(self, nbytes: int, deliver: Callable[[int], None]) -> int:
+    def send_down(self, nbytes: int, deliver: Callable[[int], None],
+                  tag: str = "raw") -> int:
         """Ship an opaque packet CPU -> simple controller."""
         self.stats.counter("raw_down").add()
-        return self.down.send(nbytes, deliver)
+        return self.down.send(nbytes, deliver, tag=tag)
 
-    def send_up(self, nbytes: int, deliver: Callable[[int], None]) -> int:
+    def send_up(self, nbytes: int, deliver: Callable[[int], None],
+                tag: str = "raw") -> int:
         """Ship an opaque packet simple controller -> CPU."""
         self.stats.counter("raw_up").add()
-        return self.up.send(nbytes, deliver)
+        return self.up.send(nbytes, deliver, tag=tag)

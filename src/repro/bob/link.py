@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.engine import Engine, TICKS_PER_NS, ns
 from repro.sim.stats import StatSet
 
@@ -40,19 +41,26 @@ class SerialLink:
     """One direction of a BOB link: FIFO serialization, fixed latency."""
 
     def __init__(self, engine: Engine, name: str,
-                 params: LinkParams = LinkParams()) -> None:
+                 params: LinkParams = LinkParams(), tracer=None) -> None:
         self.engine = engine
         self.name = name
         self.params = params
         self._busy_until = 0
         self.stats = StatSet(name)
+        self._tracer = (
+            tracer if tracer is not None else NULL_TRACER
+        ).category("link")
 
-    def send(self, nbytes: int, deliver: Callable[[int], None]) -> int:
+    def send(self, nbytes: int, deliver: Callable[[int], None],
+             tag: str = "pkt") -> int:
         """Queue a packet; ``deliver(time)`` fires at the far end.
 
         Returns the delivery time (useful for tests).  Packets occupy the
         link in FIFO order; a saturated link queues without bound, which
-        callers bound via their in-flight windows.
+        callers bound via their in-flight windows.  ``tag`` labels the
+        packet's protocol role in the trace (``req``/``wdata``/``rdata``
+        for normal BOB traffic, ``raw`` for sealed secure-engine packets,
+        ``remote`` for split-tree messages).
         """
         ser = self.params.serialization(nbytes)
         start = max(self.engine.now, self._busy_until)
@@ -60,6 +68,15 @@ class SerialLink:
         arrive = self._busy_until + self.params.latency
         self.stats.counter("packets").add()
         self.stats.counter("bytes").add(nbytes)
+        tracer = self._tracer
+        if tracer.enabled:
+            # One event per packet, emitted at send time: serialization
+            # window [start, start+ser], wire times in args.  The
+            # timing-leakage check replays Section III-B from these.
+            tracer.complete(
+                "link", tag, self.name, start, ser,
+                {"bytes": nbytes, "sent": self.engine.now, "arrive": arrive},
+            )
         self.engine.at(arrive, lambda t=arrive: deliver(t))
         return arrive
 

@@ -3,6 +3,8 @@
 Subcommands
 -----------
 ``run SCHEME``       simulate one configuration and print its summary
+``trace SCHEME``     run with event tracing on; write JSONL and/or Chrome
+                     ``trace_event`` JSON (open in https://ui.perfetto.dev)
 ``exp EXPERIMENT``   regenerate a paper table/figure (fig4, table1, fig8,
                      fig9, fig10, fig11, fig12, fig13, or ``all``)
 ``profile BENCH``    print the T25mix/T33 profiling decision for a benchmark
@@ -62,6 +64,47 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"reads={int(row['reads'])} writes={int(row['writes'])}")
     print(f"  simulated {result.end_time / 16 / 1000:.1f} us, "
           f"{result.events:,} events")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        ALL_CATEGORIES,
+        Tracer,
+        trace_digest,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    if args.categories:
+        categories = frozenset(args.categories.split(","))
+        unknown = categories - ALL_CATEGORIES
+        if unknown:
+            print(f"unknown trace categories: {', '.join(sorted(unknown))} "
+                  f"(known: {', '.join(sorted(ALL_CATEGORIES))})",
+                  file=sys.stderr)
+            return 2
+    else:
+        categories = None  # DEFAULT_CATEGORIES
+    tracer = Tracer(categories=categories)
+    interval = args.snapshot_interval_ns if args.snapshot_interval_ns > 0 \
+        else None
+    result = run_scheme(args.scheme, args.benchmark, args.trace_length,
+                        tracer=tracer, snapshot_interval_ns=interval)
+    print(f"scheme={args.scheme} benchmark={args.benchmark} "
+          f"trace={args.trace_length}")
+    print(f"  simulated {result.end_time / 16 / 1000:.1f} us, "
+          f"{result.events:,} engine events, "
+          f"{len(tracer)} trace events, "
+          f"{len(result.snapshots)} stat snapshots")
+    print(f"  digest: {trace_digest(tracer.events)}")
+    if args.jsonl:
+        write_jsonl(tracer.events, args.jsonl)
+        print(f"  wrote {args.jsonl}")
+    if args.chrome:
+        write_chrome_trace(tracer.events, args.chrome,
+                           process_name=f"doram {args.scheme}")
+        print(f"  wrote {args.chrome} (load in https://ui.perfetto.dev)")
     return 0
 
 
@@ -162,6 +205,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--trace-length", type=int,
                        default=experiments.DEFAULT_TRACE_LENGTH)
     p_run.set_defaults(func=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace", help="simulate one scheme with event tracing enabled"
+    )
+    p_trace.add_argument("scheme")
+    p_trace.add_argument("--benchmark", default="libq")
+    p_trace.add_argument("--trace-length", type=int, default=2000)
+    p_trace.add_argument("--categories", default="",
+                         help="comma-separated trace categories "
+                              "(default: all except 'engine')")
+    p_trace.add_argument("--snapshot-interval-ns", type=float, default=500.0,
+                         help="StatSet sampling period in ns; 0 disables")
+    p_trace.add_argument("--jsonl", default="",
+                         help="write canonical JSONL events to this path")
+    p_trace.add_argument("--chrome", default="",
+                         help="write Chrome trace_event JSON to this path")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_exp = sub.add_parser("exp", help="regenerate a paper table/figure")
     p_exp.add_argument("experiment", choices=_EXPERIMENTS + ("all",))

@@ -26,6 +26,7 @@ from repro.bob.channel import BobChannel
 from repro.core.config import PACKET_BYTES, SHORT_PACKET_BYTES
 from repro.dram.channel import Channel
 from repro.dram.commands import MemRequest, OpType, TrafficClass
+from repro.obs.tracer import NULL_TRACER
 from repro.oram.controller import BlockSink, OramController
 from repro.oram.layout import BlockPlacement
 from repro.sim.engine import Engine, ns
@@ -132,6 +133,7 @@ class SecureDelegator:
         app_id: int = -2,
         name: str = "sd",
         merge_short_reads: bool = False,
+        tracer=None,
     ) -> None:
         """``merge_short_reads`` enables the paper's footnote-1 future
         work: short read packets destined for the same normal channel
@@ -143,7 +145,11 @@ class SecureDelegator:
         self.normal_bobs = normal_bobs
         self.process_ticks = ns(process_ns)
         self.app_id = app_id
+        self.name = name
         self.stats = StatSet(name)
+        self._tracer = (
+            tracer if tracer is not None else NULL_TRACER
+        ).category("sd")
         self.sink = DelegatorSink(self)
         #: Set by the system builder once the controller exists (the
         #: controller needs the sink, the sink needs the delegator).
@@ -174,6 +180,14 @@ class SecureDelegator:
         if self.sequencer is None:
             raise RuntimeError("delegator not wired to a controller")
         self.stats.counter("requests").add()
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "sd", "request", self.name, self.engine.now,
+                {
+                    "real": int(block_id is not None),
+                    "queued": int(self.sequencer.busy),
+                },
+            )
         # Decrypt + authenticate + position-map consultation.
         self.engine.after(
             self.process_ticks,
@@ -220,6 +234,13 @@ class SecureDelegator:
             return False
         bob = self.normal_bobs[placement.channel]
         self._remote_outstanding += 1
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "sd",
+                "remote_read" if op is OpType.READ else "remote_write",
+                self.name, self.engine.now,
+                {"ch": placement.channel, "bucket": placement.bucket},
+            )
         if op is OpType.READ:
             self.stats.counter("remote_read_blocks").add()
             self.stats.counter(f"ch{placement.channel}_reads").add()
@@ -239,6 +260,7 @@ class SecureDelegator:
             self.secure_bob.send_up(
                 SHORT_PACKET_BYTES,
                 lambda _t: self._forward_read(bob, placement, on_complete),
+                tag="remote",
             )
         else:
             self.stats.counter("remote_writes").add()
@@ -247,6 +269,7 @@ class SecureDelegator:
             self.secure_bob.send_up(
                 PACKET_BYTES,
                 lambda _t: self._forward_write(bob, placement, on_complete),
+                tag="remote",
             )
         return True
 
@@ -259,10 +282,16 @@ class SecureDelegator:
             # Header + one extra 8 B address per additional block.
             nbytes = SHORT_PACKET_BYTES + 8 * (len(entries) - 1)
             self.stats.counter("remote_short_reads").add()
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    "sd", "merged_read", self.name, self.engine.now,
+                    {"ch": channel, "blocks": len(entries), "bytes": nbytes},
+                )
             self.secure_bob.send_up(
                 nbytes,
                 lambda _t, b=bob, e=entries, n=nbytes:
                     self._forward_merged(b, e, n),
+                tag="remote",
             )
 
     def _forward_merged(self, bob: BobChannel, entries, nbytes: int) -> None:
@@ -274,7 +303,7 @@ class SecureDelegator:
                     lambda t2, cb=on_complete: self._return_read(bob, cb),
                 )
 
-        bob.send_down(nbytes, arrived)
+        bob.send_down(nbytes, arrived, tag="remote")
 
     def _forward_read(
         self,
@@ -289,6 +318,7 @@ class SecureDelegator:
                 bob, placement, OpType.READ,
                 lambda t2: self._return_read(bob, on_complete),
             ),
+            tag="remote",
         )
 
     def _return_read(
@@ -300,7 +330,9 @@ class SecureDelegator:
             lambda _t: self.secure_bob.send_down(
                 PACKET_BYTES,
                 lambda t2: self._remote_done(on_complete, t2),
+                tag="remote",
             ),
+            tag="remote",
         )
 
     def _forward_write(
@@ -315,6 +347,7 @@ class SecureDelegator:
                 bob, placement, OpType.WRITE,
                 lambda t2: self._remote_done(on_complete, t2),
             ),
+            tag="remote",
         )
 
     def _remote_dram(

@@ -27,6 +27,7 @@ from repro.core.delegator import OramSequencer, SecureDelegator
 from repro.core.timing_guard import RequestPacer
 from repro.cpu.core import MemoryPort
 from repro.dram.commands import OpType
+from repro.obs.tracer import NULL_TRACER
 from repro.oram.controller import OramController
 from repro.sim.engine import Engine, ns
 from repro.sim.stats import StatSet
@@ -127,12 +128,17 @@ class OramFrontend(MemoryPort):
         t_cycles: int = 50,
         queue_depth: int = 8,
         name: str = "oram_fe",
+        tracer=None,
     ) -> None:
         self.engine = engine
         self.backend = backend
         self.pacer = RequestPacer(t_cycles, name=f"{name}.pacer")
         self.queue_depth = queue_depth
+        self.name = name
         self.stats = StatSet(name)
+        self._tracer = (
+            tracer if tracer is not None else NULL_TRACER
+        ).category("oram")
         self._queue: Deque[Tuple[bool, int, Optional[Callable[[int], None]]]] = deque()
         self._inflight = False
         self._space_waiters: list = []
@@ -145,6 +151,11 @@ class OramFrontend(MemoryPort):
     # ------------------------------------------------------------------
     # MemoryPort (S-App core side)
     # ------------------------------------------------------------------
+    @property
+    def backlog(self) -> int:
+        """App requests waiting behind the fixed-rate emitter."""
+        return len(self._queue)
+
     def can_accept(self, op: OpType) -> bool:
         return len(self._queue) < self.queue_depth
 
@@ -185,12 +196,25 @@ class OramFrontend(MemoryPort):
             is_write, block_id, on_complete = False, None, None
             real = False
         self.pacer.emitted(real)
+        self.stats.histogram("backlog").record(len(self._queue))
         self._inflight = True
         issued_at = self.engine.now
+        tracer = self._tracer
+        if tracer.enabled:
+            # The ground truth the leakage check correlates with the
+            # wire: real and dummy emissions must look identical there.
+            tracer.instant(
+                "oram", "emit", self.name, issued_at, {"real": int(real)}
+            )
 
         def on_response(time: int) -> None:
             self._inflight = False
             self.stats.latency("oram_response").record(time - issued_at)
+            if tracer.enabled:
+                tracer.instant(
+                    "oram", "response", self.name, time,
+                    {"lat": time - issued_at, "real": int(real)},
+                )
             if on_complete is not None and not is_write:
                 on_complete(time)
             self._schedule_emit(self.pacer.response_received(time))

@@ -109,8 +109,16 @@ def run_scheme(
     benchmark: str = "libq",
     trace_length: int = 8000,
     max_events: Optional[int] = None,
+    tracer=None,
+    snapshot_interval_ns: Optional[float] = None,
     **overrides,
 ) -> SimResult:
-    """Build and simulate one named scheme."""
+    """Build and simulate one named scheme.
+
+    ``tracer`` / ``snapshot_interval_ns`` are forwarded to
+    :func:`build_and_run`; all other keyword ``overrides`` go to
+    :class:`SystemConfig`.
+    """
     config = make_config(scheme, benchmark, trace_length, **overrides)
-    return build_and_run(config, max_events=max_events)
+    return build_and_run(config, max_events=max_events, tracer=tracer,
+                         snapshot_interval_ns=snapshot_interval_ns)

@@ -27,10 +27,11 @@ from repro.dram.address_mapping import (
 from repro.dram.channel import Channel
 from repro.dram.commands import MemRequest, OpType, TrafficClass
 from repro.dram.scheduler import SharePolicy, SingleClassPolicy
+from repro.obs.snapshot import StatsSampler
 from repro.oram.controller import OramController
 from repro.oram.layout import OramLayout
 from repro.securemem import SecureMemPort
-from repro.sim.engine import Engine, TICKS_PER_NS
+from repro.sim.engine import Engine, TICKS_PER_NS, ns
 from repro.sim.stats import LatencyStat, StatSet
 from repro.trace.benchmarks import benchmark_trace
 
@@ -205,6 +206,12 @@ class SimResult:
     s_app: Dict[str, float] = field(default_factory=dict)
     events: int = 0
     end_time: int = 0
+    #: Periodic StatSet snapshots (rows of ``{"ts": tick, track: {...}}``),
+    #: populated when ``build_and_run`` was given a snapshot interval.
+    snapshots: List[Dict] = field(default_factory=list)
+    #: Full :meth:`StatSet.as_dict` export per protection-engine component
+    #: (frontends, controllers, delegator), keyed by component name.
+    component_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     # -- headline metrics -------------------------------------------------
     def ns_mean_time(self) -> float:
@@ -243,9 +250,18 @@ def _ns_allowed_channels(config: SystemConfig, app: int) -> Tuple[int, ...]:
 
 
 def build_and_run(config: SystemConfig,
-                  max_events: Optional[int] = None) -> SimResult:
-    """Instantiate the configured system, simulate, and measure."""
-    engine = Engine()
+                  max_events: Optional[int] = None,
+                  tracer=None,
+                  snapshot_interval_ns: Optional[float] = None) -> SimResult:
+    """Instantiate the configured system, simulate, and measure.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) turns on event tracing in
+    every instrumented component; ``snapshot_interval_ns`` additionally
+    samples per-channel occupancy/utilization (and the ORAM frontend
+    backlog) on that period, into both the tracer (counter events) and
+    :attr:`SimResult.snapshots`.
+    """
+    engine = Engine(tracer=tracer)
     geometry = DeviceGeometry()
     secure_share = SharePolicy(
         {
@@ -265,7 +281,7 @@ def build_and_run(config: SystemConfig,
             policy = secure_share if oram_in_dram else SingleClassPolicy()
             channels[(ch, 0)] = Channel(
                 engine, f"ch{ch}", config.dram_timing, config.channel_params,
-                share_policy=policy,
+                share_policy=policy, tracer=tracer,
             )
     else:
         for ch in range(config.num_channels):
@@ -283,10 +299,12 @@ def build_and_run(config: SystemConfig,
                 sub = Channel(
                     engine, f"ch{ch}.{i}", config.dram_timing,
                     config.channel_params, share_policy=policy,
+                    tracer=tracer,
                 )
                 subs.append(sub)
                 channels[(ch, i)] = sub
-            bobs[ch] = BobChannel(engine, ch, subs, config.link_params)
+            bobs[ch] = BobChannel(engine, ch, subs, config.link_params,
+                                  tracer=tracer)
 
     # -- NS-App ports -------------------------------------------------------
     ns_ports: Dict[int, MemoryPort] = {}
@@ -322,11 +340,13 @@ def build_and_run(config: SystemConfig,
                 sink = DirectChannelSink(channels, app_id=s_app_id)
                 controller = OramController(engine, ocfg, layout, sink,
                                             seed=config.seed,
-                                            fork_path=config.fork_path)
+                                            fork_path=config.fork_path,
+                                            tracer=tracer)
                 controllers.append(controller)
                 backend = OnChipBackend(engine, controller)
                 frontend = OramFrontend(engine, backend,
-                                        t_cycles=config.t_cycles)
+                                        t_cycles=config.t_cycles,
+                                        tracer=tracer)
                 frontend.start()
                 frontends.append(frontend)
                 s_ports.append(frontend)
@@ -340,6 +360,7 @@ def build_and_run(config: SystemConfig,
                     engine, secure_bob, normal_bobs,
                     process_ns=config.sd_process_ns, app_id=s_app_id,
                     merge_short_reads=config.merge_short_reads,
+                    tracer=tracer,
                 )
                 remote_targets = [(ch, 0) for ch in sorted(normal_bobs)]
                 # Remote footprint per tree (split levels, per channel).
@@ -372,6 +393,7 @@ def build_and_run(config: SystemConfig,
                         seed=config.seed + 31 * s_index,
                         name=f"oram{s_index}",
                         fork_path=config.fork_path,
+                        tracer=tracer,
                     )
                     controllers.append(ctrl)
                 delegator.sequencer = OramSequencer(controllers[0])
@@ -381,7 +403,7 @@ def build_and_run(config: SystemConfig,
                     )
                     frontend = OramFrontend(
                         engine, backend, t_cycles=config.t_cycles,
-                        name=f"oram_fe{s_index}",
+                        name=f"oram_fe{s_index}", tracer=tracer,
                     )
                     frontend.start()
                     frontends.append(frontend)
@@ -448,6 +470,27 @@ def build_and_run(config: SystemConfig,
     if not cores:
         raise ValueError("configuration produced no cores")
 
+    # -- periodic stat snapshots ---------------------------------------------
+    sampler: Optional[StatsSampler] = None
+    if snapshot_interval_ns is not None:
+        sampler = StatsSampler(engine, ns(snapshot_interval_ns),
+                               tracer=tracer)
+        for key in sorted(channels):
+            channel = channels[key]
+            sampler.add_source(
+                channel.name,
+                lambda c=channel: {
+                    "queued": float(c.queued),
+                    "util": c.utilization(),
+                },
+            )
+        for frontend in frontends:
+            sampler.add_source(
+                frontend.name,
+                lambda f=frontend: {"backlog": float(f.backlog)},
+            )
+        sampler.start()
+
     # -- simulate -------------------------------------------------------------
     engine.run(max_events=max_events)
     ns_cores = cores[: config.num_ns_apps]
@@ -510,6 +553,13 @@ def build_and_run(config: SystemConfig,
             "remote_short_reads").value
         s_stats["remote_writes"] = delegator.stats.counter(
             "remote_writes").value
+    component_stats: Dict[str, Dict[str, float]] = {}
+    for frontend in frontends:
+        component_stats[frontend.name] = frontend.stats.as_dict()
+    for controller in controllers:
+        component_stats[controller.name] = controller.stats.as_dict()
+    if delegator is not None:
+        component_stats["delegator"] = delegator.stats.as_dict()
     if s_cores:
         s_stats["s_instructions"] = sum(
             core.stats.counter("loads_issued").value
@@ -527,4 +577,6 @@ def build_and_run(config: SystemConfig,
         s_app=s_stats,
         events=engine.events_dispatched,
         end_time=engine.now,
+        snapshots=sampler.rows if sampler is not None else [],
+        component_stats=component_stats,
     )

@@ -24,6 +24,7 @@ from repro.dram.bank import Bank, RankTimers
 from repro.dram.commands import MemRequest, OpType, TrafficClass
 from repro.dram.scheduler import FrFcfsScheduler, SharePolicy, SingleClassPolicy
 from repro.dram.timing import ChannelParams, DDR3Timing, DDR3_1600, DEFAULT_CHANNEL_PARAMS
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.engine import Engine
 from repro.sim.stats import StatSet
 
@@ -38,6 +39,7 @@ class Channel:
         timing: DDR3Timing = DDR3_1600,
         params: ChannelParams = DEFAULT_CHANNEL_PARAMS,
         share_policy: Optional[SharePolicy] = None,
+        tracer=None,
     ) -> None:
         self.engine = engine
         self.name = name
@@ -49,6 +51,10 @@ class Channel:
         ]
         self.scheduler = FrFcfsScheduler(params.scheduler_window)
         self.share_policy = share_policy or SingleClassPolicy()
+        self._tracer = (tracer if tracer is not None else NULL_TRACER).category(
+            "dram"
+        )
+        self.scheduler.bind_tracer(self._tracer, name, engine)
 
         self.read_q: List[MemRequest] = []
         self.write_q: List[MemRequest] = []
@@ -136,6 +142,10 @@ class Channel:
             self._bus_free = max(self._bus_free, end)
             self.rank.complete_refresh()
             self.stats.counter("refreshes").add()
+            if self._tracer.enabled:
+                self._tracer.complete(
+                    "dram", "refresh", self.name, start, end - start
+                )
             self._service_scheduled = True
             self.engine.at(max(self.engine.now, self._bus_free), self._service)
             return
@@ -155,6 +165,19 @@ class Channel:
         self._busy_ticks += self.timing.tBURST
 
         self._record(req, outcome, finish)
+        if self._tracer.enabled:
+            self._tracer.complete(
+                "dram", "write" if req.is_write else "read", self.name,
+                data_start, self.timing.tBURST,
+                {
+                    "bank": req.bank,
+                    "row": req.row,
+                    "outcome": outcome,
+                    "app": req.app_id,
+                    "cls": req.traffic.value,
+                    "lat": finish - req.arrival,
+                },
+            )
         if req.on_complete is not None:
             self.engine.at(finish, lambda r=req, t=finish: r.on_complete(t))
 
@@ -199,6 +222,11 @@ class Channel:
                     seen.add(req.traffic)
                     classes.append(req.traffic)
             chosen_cls = self.share_policy.pick_class(classes)
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    "dram", "class_pick", self.name, self.engine.now,
+                    {"cls": chosen_cls.value, "contenders": len(classes)},
+                )
             candidates = [r for r in queue if r.traffic is chosen_cls]
         else:
             candidates = queue

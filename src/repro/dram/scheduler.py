@@ -23,6 +23,16 @@ from repro.dram.bank import Bank
 from repro.dram.commands import MemRequest, TrafficClass
 
 
+class _NullPickTracer:
+    """Disabled-tracing sentinel (mirrors ``repro.obs.tracer.NULL_TRACER``
+    without importing it, keeping the DRAM layer importable standalone)."""
+
+    enabled = False
+
+
+_NULL_PICK_TRACER = _NullPickTracer()
+
+
 class FrFcfsScheduler:
     """First-ready FCFS pick over a bounded queue window."""
 
@@ -30,6 +40,21 @@ class FrFcfsScheduler:
         if window < 1:
             raise ValueError("window must be >= 1")
         self.window = window
+        self._tracer = _NULL_PICK_TRACER
+        self._track = ""
+        self._clock = None
+
+    def bind_tracer(self, tracer, track: str, clock) -> None:
+        """Attach a trace sink (``dram`` category).
+
+        ``clock`` is the owning engine (read for ``now``); the scheduler
+        itself stays time-free.  Only out-of-order picks are emitted --
+        an FR-FCFS decision that deviates from FIFO is exactly the
+        reordering a mean-preserving regression could hide.
+        """
+        self._tracer = tracer
+        self._track = track
+        self._clock = clock
 
     def pick(self, queue: Sequence[MemRequest], banks: Sequence[Bank]) -> int:
         """Index of the request to service next (queue must be non-empty).
@@ -43,6 +68,12 @@ class FrFcfsScheduler:
         for i in range(limit):
             req = queue[i]
             if banks[req.bank].classify(req.row) == "hit":
+                if i and self._tracer.enabled:
+                    self._tracer.instant(
+                        "dram", "frfcfs_reorder", self._track,
+                        self._clock.now,
+                        {"index": i, "bank": req.bank, "depth": len(queue)},
+                    )
                 return i
         return 0
 

@@ -1,0 +1,58 @@
+"""Golden-trace fixtures: fixed configs whose trace digests are pinned.
+
+A golden run is one scheme simulated at a small fixed workload
+(``libq`` @ :data:`GOLDEN_TRACE_LENGTH` accesses, default seed) with the
+default trace categories.  Its digest captures the complete event-level
+timing behaviour -- DRAM command order, link packet times, ORAM phase
+boundaries -- so a cross-PR regression that preserves aggregate means but
+reorders events still flips the digest and fails the suite loudly.
+
+When a timing change is *intentional*, regenerate the committed digests
+with ``python tools/regen_goldens.py`` and include the updated
+``tests/obs/golden_digests.json`` in the same commit, explaining the
+change in its message (see README "Observability").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.obs.export import trace_digest
+from repro.obs.tracer import Tracer
+
+#: Schemes pinned by the golden suite: the on-chip baseline, stock
+#: D-ORAM, the closed secure channel (D-ORAM/0), and one split level.
+GOLDEN_SCHEMES: Tuple[str, ...] = ("baseline", "doram", "doram/0", "doram+1")
+
+GOLDEN_BENCHMARK = "libq"
+GOLDEN_TRACE_LENGTH = 300
+
+
+def run_traced(
+    scheme: str,
+    benchmark: str = GOLDEN_BENCHMARK,
+    trace_length: int = GOLDEN_TRACE_LENGTH,
+    categories: Optional[Iterable[str]] = None,
+    **overrides,
+):
+    """Run one scheme with tracing on; returns ``(result, tracer)``."""
+    from repro.core.schemes import run_scheme
+
+    tracer = Tracer(categories)
+    result = run_scheme(
+        scheme, benchmark, trace_length, tracer=tracer, **overrides
+    )
+    return result, tracer
+
+
+def golden_digest(scheme: str) -> str:
+    """The trace digest of one golden run."""
+    _result, tracer = run_traced(scheme)
+    return trace_digest(tracer.events)
+
+
+def compute_golden_digests(
+    schemes: Iterable[str] = GOLDEN_SCHEMES,
+) -> Dict[str, str]:
+    """Digest every golden scheme (used by ``tools/regen_goldens.py``)."""
+    return {scheme: golden_digest(scheme) for scheme in schemes}

@@ -1,0 +1,114 @@
+"""Timing-channel checks on the CPU <-> SD secure link (Section III-B).
+
+D-ORAM's security argument for the serial link is that its observable
+packet stream is a deterministic function of the response stream: every
+packet is exactly 72 B, and request ``k+1`` leaves the processor exactly
+``t`` CPU cycles after response ``k`` was accepted (plus the fixed
+CPU-side packet processing time), whether the S-App had a real request
+queued or the engine emitted a dummy.  Nothing about demand, addresses,
+or read/write mix is visible.
+
+:func:`check_fixed_rate` replays that argument against a captured trace:
+it extracts the secure channel's raw link packets and returns a list of
+violation strings (empty = the property holds).  The regression test
+asserts the list is empty for a stock run -- and *non*-empty when the
+emission period is deliberately perturbed, proving the check has teeth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.obs.tracer import TraceEvent
+from repro.sim.engine import cpu_cycles, ns
+
+
+def secure_link_packets(
+    events: Sequence[TraceEvent], secure_channel: int = 0
+) -> Tuple[List[TraceEvent], List[TraceEvent]]:
+    """Raw secure-engine packets on the secure channel's two links.
+
+    Returns ``(down, up)`` in wire order.  Only ``raw``-tagged packets are
+    the ORAM request/response protocol; normal-traffic packets (NS-Apps
+    sharing the secure channel) and split-tree ``remote`` messages ride
+    the same links but are framed differently and are excluded.
+    """
+    down_track = f"bob{secure_channel}.down"
+    up_track = f"bob{secure_channel}.up"
+    down = [
+        e for e in events
+        if e.cat == "link" and e.name == "raw" and e.track == down_track
+    ]
+    up = [
+        e for e in events
+        if e.cat == "link" and e.name == "raw" and e.track == up_track
+    ]
+    return down, up
+
+
+def check_fixed_rate(
+    events: Sequence[TraceEvent],
+    secure_channel: int = 0,
+    t_cycles: int = 50,
+    cpu_process_ns: float = 2.0,
+    packet_bytes: Optional[int] = None,
+) -> List[str]:
+    """Verify the fixed-rate / fixed-size secure-link property.
+
+    Checks, against the trace of one run:
+
+    1. every request packet (down) and response packet (up) is exactly
+       ``packet_bytes`` long;
+    2. request ``k+1`` leaves exactly ``cpu_cycles(t_cycles) +
+       ns(cpu_process_ns)`` ticks after response ``k`` arrived at the
+       processor (the pacer's deterministic emission rule);
+    3. requests and responses strictly alternate (one outstanding).
+
+    Returns human-readable violation strings; empty means the property
+    holds for every packet in the trace.
+    """
+    if packet_bytes is None:
+        # The import is deferred so that ``repro.obs`` stays importable
+        # from any layer (repro.core itself imports repro.obs.tracer).
+        from repro.core.config import PACKET_BYTES
+        packet_bytes = PACKET_BYTES
+
+    down, up = secure_link_packets(events, secure_channel)
+    violations: List[str] = []
+    if not down:
+        return [f"no secure-engine packets on bob{secure_channel}.down"]
+
+    for i, event in enumerate(down):
+        nbytes = event.args.get("bytes")
+        if nbytes != packet_bytes:
+            violations.append(
+                f"request {i}: {nbytes} B on the wire, expected "
+                f"{packet_bytes} B"
+            )
+    for i, event in enumerate(up):
+        nbytes = event.args.get("bytes")
+        if nbytes != packet_bytes:
+            violations.append(
+                f"response {i}: {nbytes} B on the wire, expected "
+                f"{packet_bytes} B"
+            )
+
+    if not len(up) <= len(down) <= len(up) + 1:
+        violations.append(
+            f"request/response counts do not alternate: "
+            f"{len(down)} requests vs {len(up)} responses"
+        )
+
+    expected_gap = cpu_cycles(t_cycles) + ns(cpu_process_ns)
+    pairs = min(len(up), len(down) - 1)
+    for i in range(pairs):
+        response_arrival = up[i].args["arrive"]
+        next_request = down[i + 1].args["sent"]
+        gap = next_request - response_arrival
+        if gap != expected_gap:
+            violations.append(
+                f"request {i + 1} left {gap} ticks after response {i} "
+                f"arrived; the fixed rate requires exactly {expected_gap} "
+                f"(t={t_cycles} cycles + {cpu_process_ns} ns processing)"
+            )
+    return violations

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.dram.commands import OpType
+from repro.obs.tracer import NULL_TRACER
 from repro.oram.config import OramConfig
 from repro.oram.layout import BlockPlacement, OramLayout
 from repro.oram.protocol import ProtocolState
@@ -64,6 +65,7 @@ class OramController:
         seed: int = 0,
         name: str = "oram",
         fork_path: bool = False,
+        tracer=None,
     ) -> None:
         """``fork_path`` enables the read-side merging of Fork Path
         [Zhang et al., MICRO'15]: buckets shared between consecutive
@@ -80,6 +82,11 @@ class OramController:
         self.state = ProtocolState(config, seed=seed, lazy=True)
         self.stats = StatSet(name)
         self.fork_path = fork_path
+        self.name = name
+        self._tracer = (
+            tracer if tracer is not None else NULL_TRACER
+        ).category("oram")
+        self._access_real = False
 
         self._placements: List[BlockPlacement] = []
         self._read_placements: List[BlockPlacement] = []
@@ -119,6 +126,12 @@ class OramController:
         else:
             leaf, _new_leaf = self.state.access_begin(block_id)
             self.stats.counter("real_accesses").add()
+        self._access_real = block_id is not None
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "oram", "access", self.name, self.engine.now,
+                {"real": int(self._access_real), "leaf": leaf},
+            )
         self._placements = self.layout.path_placements(leaf)
         if self.fork_path:
             buckets = frozenset(p.bucket for p in self._placements)
@@ -198,5 +211,14 @@ class OramController:
         self._phase_done_cb = None
         elapsed = self.engine.now - self._phase_start
         self.stats.latency(f"{phase}_phase").record(elapsed)
+        if self._tracer.enabled:
+            blocks = (
+                self._read_placements if phase == "read" else self._placements
+            )
+            self._tracer.complete(
+                "oram", f"{phase}_phase", self.name, self._phase_start,
+                elapsed,
+                {"blocks": len(blocks), "real": int(self._access_real)},
+            )
         if cb is not None:
             cb(self.engine.now)

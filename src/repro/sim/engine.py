@@ -46,6 +46,30 @@ def mem_cycles(value: float) -> int:
     return int(round(value * MEM_CYCLE_TICKS))
 
 
+class _NullDispatchTracer:
+    """Disabled-tracing sentinel.
+
+    The engine is the substrate every model imports, so it cannot depend
+    on :mod:`repro.obs`; this minimal stand-in mirrors the
+    ``tracer.enabled`` guard protocol of ``repro.obs.tracer.NULL_TRACER``
+    and keeps the disabled hot path to one attribute load per dispatch.
+    """
+
+    enabled = False
+
+
+_NULL_DISPATCH_TRACER = _NullDispatchTracer()
+
+
+def _callback_label(callback: Callable[[], None]) -> str:
+    """Deterministic short label for a scheduled callback (no ids/reprs)."""
+    name = getattr(callback, "__qualname__", None)
+    if name is None:
+        func = getattr(callback, "func", None)  # functools.partial
+        name = getattr(func, "__qualname__", None) or type(callback).__name__
+    return name
+
+
 class Engine:
     """A minimal, deterministic discrete-event scheduler.
 
@@ -64,12 +88,19 @@ class Engine:
     [10]
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
+        """``tracer`` (a :class:`repro.obs.tracer.Tracer`) enables
+        per-dispatch events under the ``engine`` category; dispatch
+        tracing is opt-in because it emits one event per callback."""
         self.now: int = 0
         self._queue: List[Tuple[int, int, Callable[[], None]]] = []
         self._seq = 0
         self._events_dispatched = 0
         self._stopped = False
+        self._tracer = (
+            tracer.category("engine") if tracer is not None
+            else _NULL_DISPATCH_TRACER
+        )
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -100,9 +131,15 @@ class Engine:
         """Dispatch the next event.  Returns ``False`` when queue is empty."""
         if not self._queue:
             return False
-        time, _seq, callback = heapq.heappop(self._queue)
+        time, seq, callback = heapq.heappop(self._queue)
         self.now = time
         self._events_dispatched += 1
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.instant(
+                "engine", "dispatch", "engine", time,
+                {"seq": seq, "fn": _callback_label(callback)},
+            )
         callback()
         return True
 

@@ -144,15 +144,25 @@ class StatSet:
         return self._histograms[name]
 
     def as_dict(self) -> Dict[str, float]:
-        """Flatten to ``{name: value}`` for reporting."""
+        """Flatten to ``{name: value}`` for reporting.
+
+        Latencies export count/mean/min/max (min/max as 0 when nothing
+        was recorded, keeping the value space numeric); histograms
+        export count, max, and the p50/p99 bucket edges.
+        """
         out: Dict[str, float] = {}
         for name, counter in self._counters.items():
             out[name] = counter.value
         for name, stat in self._latencies.items():
             out[f"{name}.count"] = stat.count
             out[f"{name}.mean"] = stat.mean
+            out[f"{name}.min"] = stat.min if stat.min is not None else 0
+            out[f"{name}.max"] = stat.max if stat.max is not None else 0
         for name, hist in self._histograms.items():
+            out[f"{name}.count"] = hist.count
             out[f"{name}.max"] = hist.max_value
+            out[f"{name}.p50"] = hist.quantile(0.5)
+            out[f"{name}.p99"] = hist.quantile(0.99)
         return out
 
 

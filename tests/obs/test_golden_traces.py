@@ -1,0 +1,91 @@
+"""Golden-trace regression suite.
+
+Two properties per pinned scheme:
+
+1. **Determinism** -- two fresh runs of the same configuration produce
+   byte-identical canonical traces (same sha256 digest).
+2. **Pinned history** -- the digest matches the committed value in
+   ``golden_digests.json``, so any change to event-level timing
+   behaviour (scheduling order, packet times, phase boundaries) fails
+   here even if every aggregate metric stays the same.  Intentional
+   changes: regenerate with ``python tools/regen_goldens.py`` and commit
+   the new digests alongside the change.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.export import trace_digest
+from repro.obs.golden import (
+    GOLDEN_BENCHMARK,
+    GOLDEN_SCHEMES,
+    GOLDEN_TRACE_LENGTH,
+    run_traced,
+)
+
+_GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_digests.json")
+
+with open(_GOLDEN_PATH) as _fp:
+    _GOLDEN = json.load(_fp)
+
+#: Digest cache so the pinned-value test reuses the determinism runs.
+_digests = {}
+
+
+def _digest_pair(scheme):
+    if scheme not in _digests:
+        _result, first = run_traced(scheme)
+        _result, second = run_traced(scheme)
+        _digests[scheme] = (
+            trace_digest(first.events), trace_digest(second.events),
+        )
+    return _digests[scheme]
+
+
+class TestGoldenTraces:
+    def test_fixture_matches_module_constants(self):
+        assert _GOLDEN["benchmark"] == GOLDEN_BENCHMARK
+        assert _GOLDEN["trace_length"] == GOLDEN_TRACE_LENGTH
+        assert set(_GOLDEN["digests"]) == set(GOLDEN_SCHEMES)
+
+    @pytest.mark.parametrize("scheme", GOLDEN_SCHEMES)
+    def test_run_is_deterministic(self, scheme):
+        first, second = _digest_pair(scheme)
+        assert first == second, (
+            f"{scheme}: two identical runs diverged -- the model is "
+            "nondeterministic"
+        )
+
+    @pytest.mark.parametrize("scheme", GOLDEN_SCHEMES)
+    def test_digest_matches_committed_golden(self, scheme):
+        first, _second = _digest_pair(scheme)
+        assert first == _GOLDEN["digests"][scheme], (
+            f"{scheme}: event-level timing behaviour changed. If "
+            "intentional, run `python tools/regen_goldens.py` and commit "
+            "the updated golden_digests.json with an explanation."
+        )
+
+    def test_schemes_are_distinguishable(self):
+        digests = {_digest_pair(s)[0] for s in GOLDEN_SCHEMES}
+        assert len(digests) == len(GOLDEN_SCHEMES)
+
+    def test_engine_category_off_by_default(self):
+        _result, tracer = run_traced("doram")
+        assert all(e.cat != "engine" for e in tracer.events)
+        # The default capture still sees every instrumented layer.
+        cats = {e.cat for e in tracer.events}
+        assert {"dram", "link", "oram", "sd"} <= cats
+
+
+class TestEngineCategory:
+    def test_dispatch_events_when_enabled(self):
+        _result, tracer = run_traced(
+            "doram", trace_length=50, categories={"engine"}
+        )
+        dispatches = [e for e in tracer.events if e.name == "dispatch"]
+        assert dispatches, "engine category enabled but no dispatch events"
+        assert all(e.track == "engine" for e in dispatches)
+        # Labels are stable symbols (never reprs with memory addresses).
+        assert all("0x" not in e.args["fn"] for e in dispatches)

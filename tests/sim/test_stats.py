@@ -96,12 +96,27 @@ class TestStatSet:
         stats = StatSet("owner")
         stats.counter("hits").add(3)
         stats.latency("lat").record(10)
-        stats.histogram("depth").record(5)
+        stats.latency("lat").record(30)
+        for v in (5, 5, 5, 9):
+            stats.histogram("depth").record(v)
         d = stats.as_dict()
         assert d["hits"] == 3
-        assert d["lat.count"] == 1
-        assert d["lat.mean"] == 10
-        assert d["depth.max"] == 5
+        assert d["lat.count"] == 2
+        assert d["lat.mean"] == 20
+        assert d["lat.min"] == 10
+        assert d["lat.max"] == 30
+        assert d["depth.count"] == 4
+        assert d["depth.max"] == 9
+        assert d["depth.p50"] == 5
+        assert d["depth.p99"] == 9
+
+    def test_as_dict_empty_latency(self):
+        stats = StatSet("owner")
+        stats.latency("lat")  # created but never recorded
+        d = stats.as_dict()
+        assert d["lat.count"] == 0
+        assert d["lat.min"] == 0
+        assert d["lat.max"] == 0
 
     def test_names_carry_owner(self):
         stats = StatSet("ch0")

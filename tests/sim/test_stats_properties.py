@@ -1,0 +1,89 @@
+"""Property-based invariants for the statistics primitives.
+
+These cover the algebra the example-based tests cannot enumerate:
+quantiles are monotone and consistent with ``max_value`` for *any*
+recorded multiset and bucket width, and merging latency aggregates is
+exactly equivalent to having recorded one concatenated stream.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.stats import Histogram, LatencyStat
+
+_values = st.lists(
+    st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200
+)
+_maybe_empty_values = st.lists(
+    st.integers(min_value=0, max_value=10_000), max_size=200
+)
+_widths = st.integers(min_value=1, max_value=64)
+_quantiles = st.floats(min_value=0.0, max_value=1.0)
+
+
+def _filled(values, width):
+    hist = Histogram("h", bucket_width=width)
+    for value in values:
+        hist.record(value)
+    return hist
+
+
+class TestHistogramProperties:
+    @given(_values, _widths, _quantiles, _quantiles)
+    def test_quantile_is_monotone(self, values, width, q1, q2):
+        hist = _filled(values, width)
+        lo, hi = sorted((q1, q2))
+        assert hist.quantile(lo) <= hist.quantile(hi)
+
+    @given(_values, _widths, _quantiles)
+    def test_quantile_within_bounds(self, values, width, q):
+        hist = _filled(values, width)
+        assert 0 <= hist.quantile(q) <= hist.max_value
+
+    @given(_values, _widths)
+    def test_quantile_one_is_max_value(self, values, width):
+        hist = _filled(values, width)
+        assert hist.quantile(1.0) == hist.max_value
+
+    @given(_values, _widths)
+    def test_quantile_is_a_bucket_edge(self, values, width):
+        hist = _filled(values, width)
+        value = hist.quantile(0.5)
+        assert value % width == 0
+        assert value // width in hist.buckets
+
+    @given(_values, _widths)
+    def test_count_matches_bucket_total(self, values, width):
+        hist = _filled(values, width)
+        assert hist.count == len(values) == sum(hist.buckets.values())
+
+
+class TestLatencyStatProperties:
+    @given(_maybe_empty_values, _maybe_empty_values)
+    def test_merge_equals_concatenated_stream(self, xs, ys):
+        merged = LatencyStat("a")
+        other = LatencyStat("b")
+        for value in xs:
+            merged.record(value)
+        for value in ys:
+            other.record(value)
+        merged.merge(other)
+
+        concat = LatencyStat("c")
+        for value in xs + ys:
+            concat.record(value)
+
+        assert merged.count == concat.count
+        assert merged.total == concat.total
+        assert merged.min == concat.min
+        assert merged.max == concat.max
+        assert merged.mean == concat.mean
+
+    @given(_values)
+    def test_bounds_and_mean_envelope(self, values):
+        stat = LatencyStat("lat")
+        for value in values:
+            stat.record(value)
+        assert stat.min == min(values)
+        assert stat.max == max(values)
+        assert stat.min <= stat.mean <= stat.max

@@ -15,6 +15,13 @@ class TestParser:
         args = build_parser().parse_args(["exp", "fig9"])
         assert args.experiment == "fig9"
 
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "doram"])
+        assert args.scheme == "doram"
+        assert args.categories == ""
+        assert args.snapshot_interval_ns == 500.0
+        assert args.jsonl == "" and args.chrome == ""
+
     def test_exp_rejects_unknown(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["exp", "fig99"])
@@ -56,3 +63,23 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "ratio" in out
         assert "category" in out
+
+    def test_trace_command_writes_exports(self, capsys, tmp_path):
+        import json
+
+        jsonl = tmp_path / "t.jsonl"
+        chrome = tmp_path / "t.json"
+        assert main(["trace", "doram", "--trace-length", "300",
+                     "--jsonl", str(jsonl), "--chrome", str(chrome)]) == 0
+        out = capsys.readouterr().out
+        assert "digest: " in out
+        assert "stat snapshots" in out
+        first = json.loads(jsonl.read_text().splitlines()[0])
+        assert {"ts", "cat", "name", "track", "ph"} <= set(first)
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+
+    def test_trace_command_rejects_unknown_category(self, capsys):
+        assert main(["trace", "doram", "--trace-length", "300",
+                     "--categories", "dram,nope"]) == 2
+        assert "unknown trace categories" in capsys.readouterr().err

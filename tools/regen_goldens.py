@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Regenerate the committed golden trace digests.
+
+Run after an *intentional* timing-behaviour change:
+
+    PYTHONPATH=src python tools/regen_goldens.py
+
+and commit the updated ``tests/obs/golden_digests.json`` together with
+the change that moved the digests, explaining why in the commit message.
+Each scheme is run twice and must self-agree before anything is written;
+a mismatch means nondeterminism crept into the model and there is
+nothing sane to pin.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.obs.golden import (  # noqa: E402  (path shim above)
+    GOLDEN_BENCHMARK,
+    GOLDEN_SCHEMES,
+    GOLDEN_TRACE_LENGTH,
+    golden_digest,
+)
+
+OUT_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "..", "tests", "obs", "golden_digests.json",
+)
+
+
+def main() -> int:
+    digests = {}
+    for scheme in GOLDEN_SCHEMES:
+        first = golden_digest(scheme)
+        second = golden_digest(scheme)
+        if first != second:
+            print(f"FATAL: {scheme} is nondeterministic "
+                  f"({first[:16]}... vs {second[:16]}...)", file=sys.stderr)
+            return 1
+        digests[scheme] = first
+        print(f"{scheme:<12} {first}")
+    doc = {
+        "benchmark": GOLDEN_BENCHMARK,
+        "trace_length": GOLDEN_TRACE_LENGTH,
+        "digests": digests,
+    }
+    with open(os.path.normpath(OUT_PATH), "w") as fp:
+        json.dump(doc, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    print(f"wrote {os.path.normpath(OUT_PATH)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
