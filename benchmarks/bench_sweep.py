@@ -1,0 +1,80 @@
+"""Sweep-runner performance: serial vs. parallel vs. warm store.
+
+Times the same Fig. 9 point set three ways and records the trajectory
+in ``BENCH_sweep.json`` (see ``tools/bench_trajectory.py``):
+
+* **serial** -- ``workers=1``, no store: the reference execution;
+* **parallel** -- ``workers=DORAM_SWEEP_WORKERS`` (default: CPU count):
+  on a multi-core runner this is expected ~2x faster at 4 workers; the
+  speedup is *reported*, not asserted, because CI cores vary (this is
+  the "informal" half of the acceptance bar);
+* **warm store** -- everything already on disk: asserted to simulate
+  exactly zero points (the strict half).
+
+Determinism (parallel == serial bit-for-bit) is enforced by
+``tests/analysis/test_sweep.py``; this file only measures.
+"""
+
+import os
+import sys
+import time
+
+from conftest import bench_benchmarks
+
+from repro.analysis.experiments import default_trace_length, figure_points
+from repro.analysis.sweep import ResultStore, default_workers, run_sweep
+
+_TOOLS = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "tools")
+)
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)
+
+import bench_trajectory  # noqa: E402  (path shim above)
+
+
+def _points():
+    codes = list(bench_benchmarks())[:1]
+    return figure_points("fig9", codes, default_trace_length())
+
+
+def _timed(label, **kwargs):
+    points = _points()
+    started = time.monotonic()
+    result = run_sweep(points, **kwargs)
+    wall = time.monotonic() - started
+    print(f"{label:<10} {result.total:3d} points "
+          f"({result.simulated} simulated, {result.store_hits} from store) "
+          f"workers={result.workers} wall={wall:.2f}s "
+          f"({result.total / wall:.1f} points/s)")
+    return result, wall
+
+
+def test_sweep_throughput(benchmark, tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    serial, serial_wall = _timed("serial", workers=1, store=None)
+
+    workers = default_workers()
+    parallel, parallel_wall = benchmark.pedantic(
+        lambda: _timed("parallel", workers=workers, store=store),
+        rounds=1, iterations=1,
+    )
+    if workers > 1 and parallel_wall > 0:
+        print(f"speedup    {serial_wall / parallel_wall:.2f}x "
+              f"at {workers} workers (informal; cores vary)")
+
+    warm, warm_wall = _timed("warm", workers=workers, store=store)
+    assert warm.simulated == 0, "warm store must not re-simulate"
+    assert warm.store_hits == warm.total == serial.total
+
+    bench_trajectory.append({
+        "label": "bench",
+        "figures": ["fig9"],
+        "workers": workers,
+        "points": parallel.total,
+        "simulated": parallel.simulated,
+        "wall_s": round(parallel_wall, 3),
+        "trace_length": default_trace_length(),
+        "serial_wall_s": round(serial_wall, 3),
+        "warm_wall_s": round(warm_wall, 3),
+    })

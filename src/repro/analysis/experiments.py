@@ -7,19 +7,37 @@ the full configuration, because the figures overlap heavily -- Fig. 9's
 D-ORAM/X is the best point of Fig. 11's c sweep, Fig. 13 reuses Fig. 9's
 runs, and so on.
 
+Two execution paths share the same drivers:
+
+* **Serial fallback** -- calling a ``fig*`` function directly runs any
+  missing point through :func:`cached_run` (an in-process memo).
+* **Sweep** -- :func:`figure_points` declares every run a figure needs
+  as :class:`~repro.analysis.sweep.RunPoint` objects;
+  :func:`run_figures` executes them through the parallel, resumable
+  sweep runner, primes the memo with the results, and then evaluates
+  the drivers, which find every run already cached.
+
 Scale: the paper simulates 500 M-instruction traces; the default here is
-``DORAM_TRACE_LENGTH`` memory accesses per core (env-overridable).  The
-shapes these functions exist to reproduce are stable in trace length;
-the integration tests assert that.
+``DORAM_TRACE_LENGTH`` memory accesses per core (env-overridable, read
+at call time).  The shapes these functions exist to reproduce are stable
+in trace length; the integration tests assert that.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, \
+    Sequence, Tuple
 
 from repro.analysis.metrics import summarize_best_worst_gmean
 from repro.analysis.profiling import ProfileResult, profile_ratio
+from repro.analysis.sweep import (
+    ResultStore,
+    RunPoint,
+    SweepResult,
+    dedup_points,
+    run_sweep,
+)
 from repro.core.schemes import run_scheme
 from repro.core.system import SimResult
 from repro.core.tree_split import (
@@ -32,8 +50,18 @@ from repro.oram.layout import OramLayout
 from repro.sim.stats import geomean
 from repro.trace.benchmarks import BENCHMARKS
 
-#: Default memory accesses per core per run (env: DORAM_TRACE_LENGTH).
-DEFAULT_TRACE_LENGTH = int(os.environ.get("DORAM_TRACE_LENGTH", "2500"))
+
+def default_trace_length() -> int:
+    """Memory accesses per core per run, resolved from the environment
+    *at call time* so mid-process changes to ``DORAM_TRACE_LENGTH``
+    take effect (regression-tested)."""
+    return int(os.environ.get("DORAM_TRACE_LENGTH", "2500"))
+
+
+#: Import-time snapshot, kept for CLI argparse defaults and backwards
+#: compatibility; runtime resolution goes through
+#: :func:`default_trace_length`.
+DEFAULT_TRACE_LENGTH = default_trace_length()
 
 #: All Table III benchmark codes, in the paper's order.
 ALL_BENCHMARKS: Tuple[str, ...] = tuple(b.code for b in BENCHMARKS)
@@ -48,8 +76,14 @@ def cached_run(
     segment: int = 0,
     **overrides,
 ) -> SimResult:
-    """Memoised :func:`~repro.core.schemes.run_scheme`."""
-    length = trace_length or DEFAULT_TRACE_LENGTH
+    """Memoised :func:`~repro.core.schemes.run_scheme`.
+
+    This is the thin serial fallback behind the sweep runner: a sweep
+    primes this memo (:func:`prime_cache`), so figure drivers hit it for
+    every declared point and only simulate here when called without a
+    sweep.
+    """
+    length = trace_length or default_trace_length()
     key = (scheme, benchmark, length, segment, tuple(sorted(overrides.items())))
     if key not in _run_cache:
         _run_cache[key] = run_scheme(
@@ -60,6 +94,22 @@ def cached_run(
 
 def clear_cache() -> None:
     _run_cache.clear()
+
+
+def prime_cache(results: Mapping[RunPoint, SimResult]) -> int:
+    """Load sweep results into the :func:`cached_run` memo.
+
+    Returns the number of newly primed entries.  Existing entries are
+    left alone (an in-process run and its store round trip are
+    bit-identical, so either is valid).
+    """
+    primed = 0
+    for point, result in results.items():
+        key = point.cache_key()
+        if key not in _run_cache:
+            _run_cache[key] = result
+            primed += 1
+    return primed
 
 
 def _benchmarks(benchmarks: Optional[Sequence[str]]) -> Tuple[str, ...]:
@@ -300,11 +350,11 @@ def fig12(
     """
     codes = _benchmarks(benchmarks)
     sweep = fig11(codes, trace_length)
-    length = trace_length or DEFAULT_TRACE_LENGTH
+    length = trace_length or default_trace_length()
     out: Dict[str, Dict[str, object]] = {}
     for code in codes:
         profile: ProfileResult = profile_ratio(
-            code, trace_length=length, segment=1
+            code, trace_length=length, segment=1, runner=cached_run
         )
         best_c = int(sweep[code]["best_c"])
         # The measured preference compares the average of the small-c
@@ -354,3 +404,117 @@ def fig13(
         for key in next(iter(out.values())).keys()
     }
     return out
+
+
+# ---------------------------------------------------------------------------
+# Sweep integration: declared run-points per figure
+# ---------------------------------------------------------------------------
+
+#: Figure name -> driver callable (``table1`` takes no benchmarks).
+FIGURE_DRIVERS: Dict[str, Callable] = {
+    "fig4": fig4,
+    "table1": lambda benchmarks=None, trace_length=None: table1(),
+    "fig8": lambda benchmarks=None, trace_length=None: fig8(
+        benchmarks[0] if benchmarks else "libq", trace_length
+    ),
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+}
+
+ALL_FIGURES: Tuple[str, ...] = tuple(FIGURE_DRIVERS)
+
+#: Scheme sets per figure; mirrors what each driver's body requests
+#: through :func:`cached_run`.
+_FIG11_SCHEMES = (
+    ("baseline",)
+    + tuple(f"doram/{c}" for c in range(7))
+    + ("doram", "7ns-3ch", "7ns-4ch")
+)
+_FIGURE_SCHEMES: Dict[str, Tuple[str, ...]] = {
+    "fig4": ("1ns",) + FIG4_SCHEMES,
+    "table1": (),
+    "fig9": _FIG11_SCHEMES + ("doram+1", "doram+1/4"),
+    "fig10": ("doram", "doram+1", "doram+2", "doram+3"),
+    "fig11": _FIG11_SCHEMES,
+    "fig13": ("baseline", "doram+1", "doram/4"),
+}
+
+
+def figure_points(
+    figure: str,
+    benchmarks: Optional[Sequence[str]] = None,
+    trace_length: Optional[int] = None,
+) -> List[RunPoint]:
+    """Every simulation ``figure`` needs, as declarative run-points.
+
+    The companion test suite cross-checks these declarations against
+    the drivers: priming a sweep of exactly these points must leave the
+    driver zero simulations to run.
+    """
+    if figure not in FIGURE_DRIVERS:
+        raise ValueError(f"unknown figure {figure!r} "
+                         f"(known: {', '.join(ALL_FIGURES)})")
+    codes = _benchmarks(benchmarks)
+    length = trace_length or default_trace_length()
+    if figure == "fig8":
+        code = codes[0] if benchmarks else "libq"
+        return [
+            RunPoint(scheme, code, length)
+            for scheme in ("1ns", "7ns-4ch", "7ns-3ch", "doram")
+        ]
+    if figure == "fig12":
+        from repro.analysis.profiling import PROFILE_SCHEMES
+
+        points = figure_points("fig11", codes, length)
+        points += [
+            RunPoint(scheme, code, length, segment=1)
+            for code in codes for scheme in PROFILE_SCHEMES
+        ]
+        return points
+    return [
+        RunPoint(scheme, code, length)
+        for code in codes for scheme in _FIGURE_SCHEMES[figure]
+    ]
+
+
+def points_for_figures(
+    figures: Sequence[str],
+    benchmarks: Optional[Sequence[str]] = None,
+    trace_length: Optional[int] = None,
+) -> List[RunPoint]:
+    """Deduplicated union of run-points over several figures."""
+    points: List[RunPoint] = []
+    for figure in figures:
+        points.extend(figure_points(figure, benchmarks, trace_length))
+    return dedup_points(points)
+
+
+def run_figures(
+    figures: Sequence[str],
+    benchmarks: Optional[Sequence[str]] = None,
+    trace_length: Optional[int] = None,
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    resume: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Tuple[Dict[str, object], SweepResult]:
+    """Sweep every point the figures need, then evaluate their drivers.
+
+    Returns ``({figure: driver_output}, sweep_result)``.  The drivers
+    consume the primed memo, so after the sweep they are pure
+    arithmetic -- no simulation happens on the calling thread.
+    """
+    points = points_for_figures(figures, benchmarks, trace_length)
+    sweep_result = run_sweep(
+        points, workers=workers, store=store, resume=resume,
+        progress=progress,
+    )
+    prime_cache(sweep_result.results())
+    outputs = {
+        figure: FIGURE_DRIVERS[figure](benchmarks, trace_length)
+        for figure in figures
+    }
+    return outputs, sweep_result

@@ -20,6 +20,7 @@ memorization.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.channel_sharing import SharingDecision, recommend_c
 from repro.core.schemes import run_scheme
@@ -68,19 +69,29 @@ def _ns_latency(result) -> float:
     return read.mean / 16.0  # ticks -> ns
 
 
+#: Schemes one profiling pass simulates (at the profiling segment).
+PROFILE_SCHEMES = ("1ns", "7ns-4ch", "doram", "doram/0")
+
+
 def profile_ratio(
     benchmark: str,
     trace_length: int = 3000,
     segment: int = 1,
     num_ns_apps: int = 7,
+    runner: Callable = run_scheme,
 ) -> ProfileResult:
-    """Run the three profiling configurations and apply the c rule."""
-    solo = run_scheme(
+    """Run the three profiling configurations and apply the c rule.
+
+    ``runner`` abstracts how the simulations execute; Fig. 12 passes
+    the experiments memo (``cached_run``) so sweep-primed profiling
+    runs are reused instead of re-simulated.
+    """
+    solo = runner(
         "1ns", benchmark, trace_length, segment=segment,
     )
-    t25 = run_scheme("7ns-4ch", benchmark, trace_length, segment=segment)
-    t25mix = run_scheme("doram", benchmark, trace_length, segment=segment)
-    t33 = run_scheme("doram/0", benchmark, trace_length, segment=segment)
+    t25 = runner("7ns-4ch", benchmark, trace_length, segment=segment)
+    t25mix = runner("doram", benchmark, trace_length, segment=segment)
+    t33 = runner("doram/0", benchmark, trace_length, segment=segment)
     lat_solo = _ns_latency(solo)
     lat_25mix = _ns_latency(t25mix)
     lat_33 = _ns_latency(t33)

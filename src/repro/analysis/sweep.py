@@ -1,0 +1,359 @@
+"""Parallel, resumable experiment sweeps with an on-disk result store.
+
+Every paper exhibit is a set of *independent* simulations -- one
+``run_scheme`` call per ``(scheme, benchmark, trace-segment, config
+override)`` point -- so a full figure sweep parallelizes trivially.
+This module provides the three pieces the figure drivers build on:
+
+* :class:`RunPoint` -- a picklable, hashable declaration of one
+  simulation.  Its :meth:`RunPoint.key` is a sha256 over the *resolved*
+  :class:`~repro.core.config.SystemConfig` (canonical JSON), the trace
+  length, and :data:`STORE_SCHEMA_VERSION` -- content addressing, so
+  scheme aliases (``baseline`` / ``1s7ns``) or reordered overrides that
+  resolve to the same machine share one store entry, and any change to
+  the config schema or result format retires old entries wholesale.
+
+* :class:`ResultStore` -- a directory of one canonical-JSON file per
+  run, written atomically (tmp + ``os.replace``), so an interrupted
+  sweep leaves only complete entries and the next invocation resumes
+  where it died instead of re-simulating.
+
+* :func:`run_sweep` -- fan-out over a :class:`ProcessPoolExecutor`.
+  Each worker runs one point and returns the *serialized* payload
+  (:meth:`SimResult.to_json_dict` + optionally the PR-1 trace digest);
+  the parent persists and returns them.  The simulator is deterministic
+  given a config, and payloads are exact-integer state, so a parallel
+  sweep is bit-identical to a serial one -- enforced by
+  ``tests/analysis/test_sweep.py``.
+
+Environment knobs:
+
+* ``DORAM_SWEEP_WORKERS`` -- default worker count (else ``os.cpu_count``).
+* ``DORAM_SWEEP_STORE``   -- default store directory
+  (else ``.doram-sweep/`` under the current directory).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.schemes import make_config, run_scheme
+from repro.core.system import SimResult
+
+#: Bump when the result payload or the config schema changes shape;
+#: old store entries then miss and re-simulate instead of deserializing
+#: garbage.
+STORE_SCHEMA_VERSION = 1
+
+#: Default on-disk store location (env: ``DORAM_SWEEP_STORE``).
+DEFAULT_STORE_ENV = "DORAM_SWEEP_STORE"
+DEFAULT_STORE_DIR = ".doram-sweep"
+
+#: Default worker count (env: ``DORAM_SWEEP_WORKERS``).
+WORKERS_ENV = "DORAM_SWEEP_WORKERS"
+
+
+def default_store_path() -> str:
+    return os.environ.get(DEFAULT_STORE_ENV, "").strip() or DEFAULT_STORE_DIR
+
+
+def default_workers() -> int:
+    env = os.environ.get(WORKERS_ENV, "").strip()
+    if env:
+        return max(1, int(env))
+    return max(1, os.cpu_count() or 1)
+
+
+def canonical_json(payload: object) -> str:
+    """Canonical encoding: sorted keys, no whitespace -- the byte form
+    both the store files and the content-address hash are built from."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# Run points
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunPoint:
+    """One independent simulation in a sweep.
+
+    ``overrides`` is a sorted tuple of ``(field, value)`` pairs applied
+    to :func:`~repro.core.schemes.make_config`; values must be
+    picklable and JSON-safe (the usual scalars).
+    """
+
+    scheme: str
+    benchmark: str
+    trace_length: int
+    segment: int = 0
+    overrides: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "overrides", tuple(sorted(tuple(self.overrides)))
+        )
+
+    @property
+    def label(self) -> str:
+        extra = "".join(
+            f" {k}={v}" for k, v in self.overrides
+        )
+        return (f"{self.scheme}/{self.benchmark}"
+                f"@{self.trace_length}.{self.segment}{extra}")
+
+    def resolved_config(self):
+        """The full :class:`SystemConfig` this point simulates."""
+        return make_config(
+            self.scheme, self.benchmark, self.trace_length,
+            segment=self.segment, **dict(self.overrides),
+        )
+
+    def key(self, with_digest: bool = False) -> str:
+        """Content address: sha256 of the resolved config + schema."""
+        doc = {
+            "schema": STORE_SCHEMA_VERSION,
+            "config": self.resolved_config().to_json_dict(),
+            "trace_length": self.trace_length,
+            "with_digest": bool(with_digest),
+        }
+        return hashlib.sha256(
+            canonical_json(doc).encode("utf-8")
+        ).hexdigest()
+
+    def cache_key(self) -> tuple:
+        """The in-memory memo key :func:`experiments.cached_run` uses."""
+        return (self.scheme, self.benchmark, self.trace_length,
+                self.segment, self.overrides)
+
+
+def dedup_points(points: Iterable[RunPoint]) -> List[RunPoint]:
+    """Order-preserving dedup (figures overlap heavily)."""
+    seen = set()
+    out: List[RunPoint] = []
+    for point in points:
+        if point not in seen:
+            seen.add(point)
+            out.append(point)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# On-disk store
+# ---------------------------------------------------------------------------
+
+
+class ResultStore:
+    """Content-addressed directory of run payloads.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` -- one canonical-JSON file
+    per run, fanned out over 256 subdirectories so large sweeps do not
+    create giant flat directories.  Writes are atomic (same-directory
+    tmp file + ``os.replace``), so readers never observe a torn file
+    and a killed sweep leaves only complete entries behind.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root if root is not None else default_store_path()
+        os.makedirs(self.root, exist_ok=True)
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.path_for(key))
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The stored payload, or ``None`` on a miss or a corrupt file
+        (corrupt entries count as misses and get re-simulated)."""
+        path = self.path_for(key)
+        try:
+            with open(path) as fp:
+                return json.load(fp)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, payload: Dict[str, object]) -> None:
+        path = self.path_for(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        tmp = os.path.join(directory, f".tmp-{os.getpid()}-{key[:16]}")
+        with open(tmp, "w") as fp:
+            fp.write(canonical_json(payload))
+        os.replace(tmp, path)
+
+    def delete(self, key: str) -> bool:
+        try:
+            os.remove(self.path_for(key))
+            return True
+        except OSError:
+            return False
+
+    def keys(self) -> List[str]:
+        out: List[str] = []
+        for sub in sorted(os.listdir(self.root)):
+            subdir = os.path.join(self.root, sub)
+            if not os.path.isdir(subdir):
+                continue
+            for name in sorted(os.listdir(subdir)):
+                if name.endswith(".json"):
+                    out.append(name[: -len(".json")])
+        return out
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def execute_point(point: RunPoint,
+                  with_digest: bool = False) -> Dict[str, object]:
+    """Simulate one point and return its serialized payload.
+
+    Runs in worker processes; must stay importable at module top level
+    (``ProcessPoolExecutor`` pickles the function reference, not the
+    closure).  ``with_digest`` additionally runs the PR-1 tracer and
+    embeds the sha256 trace digest, so equivalence tests can compare
+    event-level behaviour across worker layouts, not just aggregates.
+    """
+    tracer = None
+    if with_digest:
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer()
+    result = run_scheme(
+        point.scheme, point.benchmark, point.trace_length,
+        segment=point.segment, tracer=tracer, **dict(point.overrides),
+    )
+    payload: Dict[str, object] = {
+        "schema": STORE_SCHEMA_VERSION,
+        "point": {
+            "scheme": point.scheme,
+            "benchmark": point.benchmark,
+            "trace_length": point.trace_length,
+            "segment": point.segment,
+            "overrides": [list(kv) for kv in point.overrides],
+        },
+        "result": result.to_json_dict(),
+    }
+    if tracer is not None:
+        from repro.obs.export import trace_digest
+
+        payload["trace_digest"] = trace_digest(tracer.events)
+    return payload
+
+
+@dataclass
+class SweepResult:
+    """Payloads plus execution accounting for one sweep invocation."""
+
+    payloads: Dict[RunPoint, Dict[str, object]]
+    #: Points simulated in this invocation (store misses).
+    simulated: int = 0
+    #: Points served from the store without running.
+    store_hits: int = 0
+    workers: int = 1
+    wall_s: float = 0.0
+    store_root: Optional[str] = None
+
+    @property
+    def total(self) -> int:
+        return len(self.payloads)
+
+    @property
+    def points_per_s(self) -> float:
+        return self.total / self.wall_s if self.wall_s > 0 else 0.0
+
+    def results(self) -> Dict[RunPoint, SimResult]:
+        """Deserialize every payload back to a :class:`SimResult`."""
+        return {
+            point: SimResult.from_json_dict(payload["result"])
+            for point, payload in self.payloads.items()
+        }
+
+
+def run_sweep(
+    points: Iterable[RunPoint],
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    resume: bool = True,
+    with_digest: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Execute every point, in parallel, resuming from the store.
+
+    ``resume=False`` ignores (but still refreshes) existing store
+    entries.  ``workers`` defaults to ``DORAM_SWEEP_WORKERS`` or the
+    CPU count; ``workers <= 1`` runs serially in-process, which the
+    equivalence tests use as the reference execution.
+    """
+    points = dedup_points(points)
+    if workers is None:
+        workers = default_workers()
+    started = time.monotonic()
+    payloads: Dict[RunPoint, Dict[str, object]] = {}
+    keys = {point: point.key(with_digest) for point in points}
+
+    todo: List[RunPoint] = []
+    hits = 0
+    for point in points:
+        cached = store.get(keys[point]) if (store and resume) else None
+        if cached is not None and cached.get("schema") == STORE_SCHEMA_VERSION:
+            payloads[point] = cached
+            hits += 1
+        else:
+            todo.append(point)
+    if progress and hits:
+        progress(f"store: {hits}/{len(points)} points already simulated")
+
+    if todo:
+        if workers <= 1 or len(todo) == 1:
+            for i, point in enumerate(todo):
+                if progress:
+                    progress(f"run {i + 1}/{len(todo)}: {point.label}")
+                payload = execute_point(point, with_digest)
+                payloads[point] = payload
+                if store is not None:
+                    store.put(keys[point], payload)
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(execute_point, point, with_digest): point
+                    for point in todo
+                }
+                pending = set(futures)
+                done_count = 0
+                while pending:
+                    done, pending = wait(pending,
+                                         return_when=FIRST_COMPLETED)
+                    for future in done:
+                        point = futures[future]
+                        payload = future.result()
+                        payloads[point] = payload
+                        if store is not None:
+                            store.put(keys[point], payload)
+                        done_count += 1
+                        if progress:
+                            progress(
+                                f"done {done_count}/{len(todo)}: "
+                                f"{point.label}"
+                            )
+
+    return SweepResult(
+        payloads=payloads,
+        simulated=len(todo),
+        store_hits=hits,
+        workers=workers,
+        wall_s=time.monotonic() - started,
+        store_root=store.root if store is not None else None,
+    )

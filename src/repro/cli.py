@@ -125,48 +125,76 @@ _EXPERIMENTS = (
     "fig4", "table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 )
 
+_EXPERIMENT_TITLES = {
+    "fig4": "Fig. 4: NS slowdown vs solo (per scheme)",
+    "fig9": "Fig. 9: normalized NS execution time",
+    "fig10": "Fig. 10: D-ORAM+k vs D-ORAM",
+    "fig11": "Fig. 11: secure-channel sharing sweep",
+    "fig12": "Fig. 12: profiled ratio vs best c",
+    "fig13": "Fig. 13: NS access latency vs Baseline",
+}
+
+
+def _print_experiment(name: str, output) -> None:
+    """Render one driver's output (shared by ``exp`` and ``sweep``)."""
+    if name == "table1":
+        headers = list(output[0].keys())
+        print("\n== Table I: tree-split space/messages ==")
+        print(_format_table(
+            headers,
+            [[f"{v:.3f}" if isinstance(v, float) else str(v)
+              for v in r.values()] for r in output],
+        ))
+    elif name == "fig8":
+        print("\n== Fig. 8: channel access latency (ns) ==")
+        for key, value in output.items():
+            print(f"  {key:<26}: {value:.1f}")
+    else:
+        _print_keyed(_EXPERIMENT_TITLES[name], output)
+
 
 def cmd_exp(args: argparse.Namespace) -> int:
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     benchmarks = args.benchmarks.split(",") if args.benchmarks else None
     length = args.trace_length
     for name in names:
-        if name == "fig4":
-            _print_keyed("Fig. 4: NS slowdown vs solo (per scheme)",
-                         experiments.fig4(benchmarks, length))
-        elif name == "table1":
-            rows = experiments.table1()
-            headers = list(rows[0].keys())
-            print("\n== Table I: tree-split space/messages ==")
-            print(_format_table(
-                headers,
-                [[f"{v:.3f}" if isinstance(v, float) else str(v)
-                  for v in r.values()] for r in rows],
-            ))
-        elif name == "fig8":
-            data = experiments.fig8(benchmarks[0] if benchmarks else "libq",
-                                    length)
-            print("\n== Fig. 8: channel access latency (ns) ==")
-            for key, value in data.items():
-                print(f"  {key:<26}: {value:.1f}")
-        elif name == "fig9":
-            _print_keyed("Fig. 9: normalized NS execution time",
-                         experiments.fig9(benchmarks, length))
-        elif name == "fig10":
-            _print_keyed("Fig. 10: D-ORAM+k vs D-ORAM",
-                         experiments.fig10(benchmarks, length))
-        elif name == "fig11":
-            _print_keyed("Fig. 11: secure-channel sharing sweep",
-                         experiments.fig11(benchmarks, length))
-        elif name == "fig12":
-            _print_keyed("Fig. 12: profiled ratio vs best c",
-                         experiments.fig12(benchmarks, length))
-        elif name == "fig13":
-            _print_keyed("Fig. 13: NS access latency vs Baseline",
-                         experiments.fig13(benchmarks, length))
-        else:
-            print(f"unknown experiment {name}", file=sys.stderr)
+        output = experiments.FIGURE_DRIVERS[name](benchmarks, length)
+        _print_experiment(name, output)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Parallel, resumable regeneration of one or more figures."""
+    from repro.analysis.sweep import ResultStore, default_workers
+
+    if args.figures == "all":
+        names = _EXPERIMENTS
+    else:
+        names = tuple(name.strip() for name in args.figures.split(","))
+        unknown = set(names) - set(_EXPERIMENTS)
+        if unknown:
+            print(f"unknown figures: {', '.join(sorted(unknown))} "
+                  f"(known: {', '.join(_EXPERIMENTS)})", file=sys.stderr)
             return 2
+    benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+    workers = args.workers if args.workers else default_workers()
+    store = ResultStore(args.store) if args.store != "none" else None
+    progress = (lambda msg: print(f"  {msg}", flush=True)) \
+        if args.verbose else None
+
+    outputs, sweep = experiments.run_figures(
+        names, benchmarks, args.trace_length,
+        workers=workers, store=store, resume=not args.no_resume,
+        progress=progress,
+    )
+    print(f"sweep: {sweep.total} points "
+          f"({sweep.simulated} simulated, {sweep.store_hits} from store) "
+          f"workers={sweep.workers} wall={sweep.wall_s:.2f}s "
+          f"({sweep.points_per_s:.2f} points/s)")
+    if store is not None:
+        print(f"store: {store.root} ({len(store)} entries)")
+    for name in names:
+        _print_experiment(name, outputs[name])
     return 0
 
 
@@ -229,6 +257,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated benchmark codes (default: all)")
     p_exp.add_argument("--trace-length", type=int, default=None)
     p_exp.set_defaults(func=cmd_exp)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="regenerate figures via the parallel, resumable sweep runner",
+    )
+    p_sweep.add_argument("--figures", default="all",
+                         help="comma-separated figure names (default: all)")
+    p_sweep.add_argument("--benchmarks", default="",
+                         help="comma-separated benchmark codes (default: all)")
+    p_sweep.add_argument("--trace-length", type=int, default=None)
+    p_sweep.add_argument("--workers", type=int, default=0,
+                         help="worker processes (default: "
+                              "$DORAM_SWEEP_WORKERS or the CPU count)")
+    p_sweep.add_argument("--store", default=None,
+                         help="result-store directory (default: "
+                              "$DORAM_SWEEP_STORE or .doram-sweep; "
+                              "'none' disables the store)")
+    p_sweep.add_argument("--no-resume", action="store_true",
+                         help="re-simulate every point even if stored")
+    p_sweep.add_argument("--verbose", action="store_true",
+                         help="print per-point progress")
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_prof = sub.add_parser("profile", help="T25mix/T33 profiling")
     p_prof.add_argument("benchmark")

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.bob.link import LinkParams
 from repro.cpu.core import CoreParams
@@ -112,6 +113,31 @@ class SystemConfig:
                 and (self.protection != "path"
                      or self.oram_placement != "delegated")):
             raise ValueError("multiple S-Apps require delegated Path ORAM")
+
+    # -- (de)serialization (sweep result store) -------------------------
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-safe dict of the complete configuration.
+
+        Nested component dataclasses flatten to plain dicts and tuples
+        to lists; :meth:`from_json_dict` reverses the mapping exactly.
+        The sweep store hashes this dict (canonical JSON) as the run
+        key, so *every* field that can change simulation behaviour must
+        appear here -- ``dataclasses.asdict`` guarantees that by
+        construction.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, state: Dict[str, object]) -> "SystemConfig":
+        state = dict(state)
+        state["oram"] = OramConfig(**state["oram"])
+        state["dram_timing"] = DDR3Timing(**state["dram_timing"])
+        state["channel_params"] = ChannelParams(**state["channel_params"])
+        state["core_params"] = CoreParams(**state["core_params"])
+        state["link_params"] = LinkParams(**state["link_params"])
+        if state.get("ns_channels") is not None:
+            state["ns_channels"] = tuple(state["ns_channels"])
+        return cls(**state)
 
     # ------------------------------------------------------------------
     @property

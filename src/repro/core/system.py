@@ -232,6 +232,45 @@ class SimResult:
     def write_latency_ns(self) -> float:
         return self.ns_write_latency.mean / TICKS_PER_NS
 
+    # -- (de)serialization (sweep result store) -------------------------
+    def to_json_dict(self) -> Dict[str, object]:
+        """Complete JSON-safe form of the run.
+
+        Every value is an exact integer, a string, or a float computed
+        deterministically by the simulator, so serializing the same run
+        twice -- in any process, any worker -- produces byte-identical
+        canonical JSON.  The sweep store and its equivalence tests rely
+        on that.
+        """
+        return {
+            "config": self.config.to_json_dict(),
+            "ns_finish": {str(app): t for app, t in self.ns_finish.items()},
+            "ns_read_latency": self.ns_read_latency.as_dict(),
+            "ns_write_latency": self.ns_write_latency.as_dict(),
+            "channels": self.channels,
+            "s_app": self.s_app,
+            "events": self.events,
+            "end_time": self.end_time,
+            "snapshots": self.snapshots,
+            "component_stats": self.component_stats,
+        }
+
+    @classmethod
+    def from_json_dict(cls, state: Dict[str, object]) -> "SimResult":
+        return cls(
+            config=SystemConfig.from_json_dict(state["config"]),
+            ns_finish={int(app): t
+                       for app, t in state["ns_finish"].items()},
+            ns_read_latency=LatencyStat.from_dict(state["ns_read_latency"]),
+            ns_write_latency=LatencyStat.from_dict(state["ns_write_latency"]),
+            channels=state["channels"],
+            s_app=state["s_app"],
+            events=state["events"],
+            end_time=state["end_time"],
+            snapshots=state["snapshots"],
+            component_stats=state["component_stats"],
+        )
+
 
 # ---------------------------------------------------------------------------
 # Builder

@@ -42,6 +42,12 @@ class Bank:
         self.hits = 0
         self.misses = 0
         self.conflicts = 0
+        #: When set (protocol-compliance replay), :meth:`commit` records
+        #: the implied command schedule into :attr:`last_commands` as
+        #: ``(kind, time, row)`` tuples.  Off by default -- zero cost on
+        #: the hot path.
+        self.record_commands = False
+        self.last_commands: list = []
 
     # ------------------------------------------------------------------
     def classify(self, row: int) -> str:
@@ -56,7 +62,7 @@ class Bank:
         Does not mutate state.  ``earliest`` is the first tick preparation
         commands may be considered (normally the request arrival time).
         """
-        start, _plan = self._plan(req, earliest)
+        start, _act, _pre = self._plan(req, earliest)
         return start
 
     def commit(self, req: MemRequest, earliest: int, floor: int = 0) -> Tuple[int, str]:
@@ -69,7 +75,7 @@ class Bank:
         """
         timing = self.timing
         outcome = self.classify(req.row)
-        data_start, act_time = self._plan(req, earliest)
+        data_start, act_time, pre_time = self._plan(req, earliest)
         data_start = max(data_start, floor)
 
         if outcome != "hit":
@@ -80,6 +86,15 @@ class Bank:
             self.open_row = req.row
 
         col_time = data_start - (timing.tCWL if req.is_write else timing.tCL)
+        if self.record_commands:
+            self.last_commands = []
+            if pre_time is not None:
+                self.last_commands.append(("PRE", pre_time, None))
+            if outcome != "hit":
+                self.last_commands.append(("ACT", act_time, req.row))
+            self.last_commands.append(
+                ("WR" if req.is_write else "RD", col_time, req.row)
+            )
         if req.is_write:
             # Write recovery fences the next precharge after the data burst.
             write_end = data_start + timing.tBURST
@@ -107,9 +122,25 @@ class Bank:
         self.open_row = None
         self._act_ready = max(self._act_ready, time)
 
+    def close_after_access(self) -> int:
+        """Close-page policy: precharge at the earliest legal tick after
+        the access just committed (honoring tRAS/tWR/tRTP recovery).
+        Returns the PRECHARGE time and appends it to the command record
+        when recording is on."""
+        pre_time = self._pre_ready
+        self.open_row = None
+        self._act_ready = max(self._act_ready, pre_time + self.timing.tRP)
+        if self.record_commands:
+            self.last_commands.append(("PRE", pre_time, None))
+        return pre_time
+
     # ------------------------------------------------------------------
-    def _plan(self, req: MemRequest, earliest: int) -> Tuple[int, int]:
-        """Compute ``(data_start, act_time)`` without mutating state."""
+    def _plan(
+        self, req: MemRequest, earliest: int
+    ) -> Tuple[int, int, Optional[int]]:
+        """Compute ``(data_start, act_time, pre_time)`` without mutating
+        state.  ``pre_time`` is ``None`` unless a row-buffer conflict
+        forces a PRECHARGE first."""
         timing = self.timing
         cas = timing.tCWL if req.is_write else timing.tCL
         outcome = self.classify(req.row)
@@ -120,19 +151,20 @@ class Bank:
             col = max(earliest, self._act_time + timing.tRCD)
             if not req.is_write:
                 col = max(col, self.rank.read_ready(earliest))
-            return col + cas, self._act_time
+            return col + cas, self._act_time, None
 
         if outcome == "conflict":
             pre = max(earliest, self._pre_ready)
             act_lb = pre + timing.tRP
         else:  # closed
+            pre = None
             act_lb = max(earliest, self._act_ready)
 
         act = self.rank.activate_slot(max(act_lb, self._act_ready))
         col = act + timing.tRCD
         if not req.is_write:
             col = max(col, self.rank.read_ready(earliest))
-        return col + cas, act
+        return col + cas, act, pre
 
 
 class RankTimers:

@@ -40,11 +40,18 @@ class Channel:
         params: ChannelParams = DEFAULT_CHANNEL_PARAMS,
         share_policy: Optional[SharePolicy] = None,
         tracer=None,
+        page_policy: str = "open",
     ) -> None:
+        if page_policy not in ("open", "close"):
+            raise ValueError(f"unknown page policy {page_policy!r}")
         self.engine = engine
         self.name = name
         self.timing = timing
         self.params = params
+        self.page_policy = page_policy
+        #: Optional protocol-compliance log of ``DramCommand`` entries;
+        #: enabled via :meth:`start_command_log`.
+        self.command_log = None
         self.rank = RankTimers(timing)
         self.banks: List[Bank] = [
             Bank(timing, self.rank) for _ in range(params.num_banks)
@@ -114,6 +121,17 @@ class Channel:
         """One-shot callback fired the next time any queue entry drains."""
         self._space_waiters.append(callback)
 
+    def start_command_log(self) -> list:
+        """Record every implied DRAM command (PRE/ACT/RD/WR/REF) from now
+        on, for replay through :class:`repro.dram.compliance.ProtocolChecker`.
+        Returns the live log list."""
+        from repro.dram.compliance import DramCommand  # noqa: F401
+
+        self.command_log = []
+        for bank in self.banks:
+            bank.record_commands = True
+        return self.command_log
+
     @property
     def queued(self) -> int:
         return len(self.read_q) + len(self.write_q)
@@ -139,6 +157,12 @@ class Channel:
             start, end = window
             for bank in self.banks:
                 bank.force_precharge(end)
+            if self.command_log is not None:
+                from repro.dram.compliance import DramCommand
+
+                self.command_log.append(
+                    DramCommand(start, "REF", -1, None, end)
+                )
             self._bus_free = max(self._bus_free, end)
             self.rank.complete_refresh()
             self.stats.counter("refreshes").add()
@@ -158,6 +182,15 @@ class Channel:
         if self._last_op is OpType.READ and req.is_write:
             floor += self.timing.tRTW
         data_start, outcome = bank.commit(req, req.arrival, floor=floor)
+        if self.page_policy == "close":
+            bank.close_after_access()
+        if self.command_log is not None:
+            from repro.dram.compliance import DramCommand
+
+            self.command_log.extend(
+                DramCommand(t, kind, req.bank, row)
+                for kind, t, row in bank.last_commands
+            )
         finish = data_start + self.timing.tBURST
 
         self._bus_free = finish

@@ -71,6 +71,27 @@ class LatencyStat:
             if self.max is None or bound > self.max:
                 self.max = bound
 
+    # -- (de)serialization (sweep result store) -------------------------
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe state: exact integers only, so a round trip is
+        bit-identical (the sweep store's equivalence guarantee)."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, object]) -> "LatencyStat":
+        stat = cls(str(state["name"]))
+        stat.count = int(state["count"])
+        stat.total = int(state["total"])
+        stat.min = None if state["min"] is None else int(state["min"])
+        stat.max = None if state["max"] is None else int(state["max"])
+        return stat
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"LatencyStat({self.name}: n={self.count}, mean={self.mean:.1f})"
 

@@ -1,0 +1,276 @@
+"""Sweep runner: determinism, resume, store semantics, driver coverage.
+
+The contract under test (see DESIGN.md "Sweep runner"):
+
+* a parallel sweep is *bit-identical* to a serial one -- same canonical
+  payload bytes, same PR-1 trace digests;
+* the on-disk store makes sweeps resumable: killing a sweep halfway
+  loses only the unfinished points, and a warm store re-simulates
+  nothing;
+* ``cached_run`` resolves ``DORAM_TRACE_LENGTH`` when called, not when
+  imported (regression: the memo used to bake in the import-time value);
+* :func:`~repro.analysis.experiments.figure_points` declares *every*
+  run its figure driver performs -- primed drivers never simulate.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import experiments
+from repro.analysis import sweep as sweep_mod
+from repro.analysis.experiments import (
+    ALL_FIGURES,
+    FIGURE_DRIVERS,
+    cached_run,
+    clear_cache,
+    figure_points,
+    points_for_figures,
+    prime_cache,
+)
+from repro.analysis.sweep import (
+    ResultStore,
+    RunPoint,
+    canonical_json,
+    dedup_points,
+    run_sweep,
+)
+
+LENGTH = 100
+BENCH = ["li"]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def _fig9_points():
+    return figure_points("fig9", BENCH, LENGTH)
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+
+
+class TestParallelSerialEquivalence:
+    def test_parallel_is_bit_identical_to_serial(self):
+        """workers=4 must reproduce workers=1 exactly -- payload bytes
+        and event-level trace digests both."""
+        points = _fig9_points()
+        serial = run_sweep(points, workers=1, store=None, with_digest=True)
+        parallel = run_sweep(points, workers=4, store=None,
+                             with_digest=True)
+        assert set(serial.payloads) == set(parallel.payloads)
+        for point in serial.payloads:
+            s, p = serial.payloads[point], parallel.payloads[point]
+            assert canonical_json(s) == canonical_json(p), point.label
+            assert s["trace_digest"] == p["trace_digest"], point.label
+        assert serial.simulated == parallel.simulated == len(
+            dedup_points(points)
+        )
+
+    def test_store_round_trip_is_bit_identical(self, tmp_path):
+        """What comes back from disk is byte-for-byte what was computed."""
+        points = _fig9_points()[:3]
+        store = ResultStore(str(tmp_path / "store"))
+        live = run_sweep(points, workers=1, store=store)
+        warm = run_sweep(points, workers=1, store=store)
+        assert warm.simulated == 0
+        for point in points:
+            assert canonical_json(live.payloads[point]) == \
+                canonical_json(warm.payloads[point])
+
+    def test_deserialized_results_match_live_run(self):
+        """SimResult.from_json_dict round-trips the exact-integer state."""
+        point = RunPoint("doram", "li", LENGTH)
+        sweep = run_sweep([point], workers=1, store=None)
+        restored = sweep.results()[point]
+        from repro.core.schemes import run_scheme
+
+        live = run_scheme("doram", "li", LENGTH)
+        assert canonical_json(restored.to_json_dict()) == \
+            canonical_json(live.to_json_dict())
+
+
+# ---------------------------------------------------------------------------
+# Resume
+# ---------------------------------------------------------------------------
+
+
+class TestResume:
+    def test_interrupted_sweep_resumes_without_resimulating(
+        self, tmp_path, monkeypatch
+    ):
+        """Kill half the store; the rerun simulates exactly that half."""
+        points = _fig9_points()
+        store = ResultStore(str(tmp_path / "store"))
+        first = run_sweep(points, workers=1, store=store)
+        total = first.simulated
+        assert total == len(dedup_points(points))
+
+        keys = store.keys()
+        lost = keys[: len(keys) // 2]
+        for key in lost:
+            assert store.delete(key)
+
+        executed = []
+        real = sweep_mod.execute_point
+        monkeypatch.setattr(
+            sweep_mod, "execute_point",
+            lambda point, with_digest=False: (
+                executed.append(point), real(point, with_digest)
+            )[1],
+        )
+        second = run_sweep(points, workers=1, store=store)
+        assert second.simulated == len(lost)
+        assert second.store_hits == total - len(lost)
+        assert len(executed) == len(lost)
+        # No point ran twice, and the merged payloads match the originals.
+        assert len(set(executed)) == len(executed)
+        for point in points:
+            assert canonical_json(second.payloads[point]) == \
+                canonical_json(first.payloads[point])
+
+    def test_warm_store_runs_nothing(self, tmp_path, monkeypatch):
+        points = _fig9_points()
+        store = ResultStore(str(tmp_path / "store"))
+        run_sweep(points, workers=1, store=store)
+        monkeypatch.setattr(
+            sweep_mod, "execute_point",
+            lambda *a, **k: pytest.fail("warm store must not simulate"),
+        )
+        warm = run_sweep(points, workers=1, store=store)
+        assert warm.simulated == 0
+        assert warm.store_hits == len(dedup_points(points))
+
+    def test_no_resume_refreshes_but_ignores_entries(self, tmp_path):
+        point = RunPoint("baseline", "li", LENGTH)
+        store = ResultStore(str(tmp_path / "store"))
+        run_sweep([point], workers=1, store=store)
+        again = run_sweep([point], workers=1, store=store, resume=False)
+        assert again.simulated == 1 and again.store_hits == 0
+
+
+# ---------------------------------------------------------------------------
+# Store semantics
+# ---------------------------------------------------------------------------
+
+
+class TestResultStore:
+    def test_put_get_delete_roundtrip(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s"))
+        key = "ab" + "0" * 62
+        payload = {"schema": 1, "x": [1, 2, 3]}
+        assert key not in store
+        store.put(key, payload)
+        assert key in store and store.get(key) == payload
+        assert store.keys() == [key] and len(store) == 1
+        assert store.delete(key) and key not in store
+        assert not store.delete(key)
+
+    def test_corrupt_entry_counts_as_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s"))
+        key = "cd" + "1" * 62
+        store.put(key, {"ok": True})
+        with open(store.path_for(key), "w") as fp:
+            fp.write("{truncated")
+        assert store.get(key) is None
+
+    def test_writes_leave_no_tmp_litter(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s"))
+        for i in range(8):
+            store.put(f"{i:02d}" + "e" * 62, {"i": i})
+        stray = [
+            name
+            for root, _dirs, names in os.walk(store.root)
+            for name in names
+            if not name.endswith(".json")
+        ]
+        assert stray == []
+
+    def test_corrupt_store_entry_is_resimulated(self, tmp_path):
+        point = RunPoint("baseline", "li", LENGTH)
+        store = ResultStore(str(tmp_path / "s"))
+        first = run_sweep([point], workers=1, store=store)
+        key = point.key()
+        with open(store.path_for(key), "w") as fp:
+            fp.write("not json")
+        second = run_sweep([point], workers=1, store=store)
+        assert second.simulated == 1
+        assert canonical_json(second.payloads[point]) == \
+            canonical_json(first.payloads[point])
+
+    def test_key_is_stable_under_override_order_and_aliases(self):
+        a = RunPoint("doram", "li", LENGTH,
+                     overrides=(("t_cycles", 60), ("seed", 2)))
+        b = RunPoint("doram", "li", LENGTH,
+                     overrides=(("seed", 2), ("t_cycles", 60)))
+        assert a == b and a.key() == b.key()
+        # Schema bumps retire every old entry.
+        assert a.key() != a.key(with_digest=True)
+
+
+# ---------------------------------------------------------------------------
+# cached_run env resolution (regression)
+# ---------------------------------------------------------------------------
+
+
+class TestCachedRunEnv:
+    def test_trace_length_env_resolved_at_call_time(self, monkeypatch):
+        monkeypatch.setenv("DORAM_TRACE_LENGTH", "70")
+        first = cached_run("1ns", "li")
+        assert first.config.trace_length == 70
+        # Changing the env mid-process must reach the next call -- the
+        # old code froze the import-time value into the memo key.
+        monkeypatch.setenv("DORAM_TRACE_LENGTH", "90")
+        second = cached_run("1ns", "li")
+        assert second.config.trace_length == 90
+        assert first is not second
+
+    def test_explicit_length_beats_env(self, monkeypatch):
+        monkeypatch.setenv("DORAM_TRACE_LENGTH", "70")
+        run = cached_run("1ns", "li", trace_length=LENGTH)
+        assert run.config.trace_length == LENGTH
+
+
+# ---------------------------------------------------------------------------
+# Figure-point coverage
+# ---------------------------------------------------------------------------
+
+
+class TestFigureCoverage:
+    def test_primed_drivers_never_simulate(self, monkeypatch):
+        """figure_points must declare every run each driver performs."""
+        points = points_for_figures(ALL_FIGURES, BENCH, LENGTH)
+        sweep = run_sweep(points, workers=1, store=None)
+        prime_cache(sweep.results())
+        monkeypatch.setattr(
+            experiments, "run_scheme",
+            lambda *a, **k: pytest.fail(
+                f"undeclared simulation: {a} {k}"
+            ),
+        )
+        for figure in ALL_FIGURES:
+            FIGURE_DRIVERS[figure](BENCH, LENGTH)
+
+    def test_run_figures_outputs_match_serial_drivers(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        outputs, sweep = experiments.run_figures(
+            ["fig9"], BENCH, LENGTH, workers=1, store=store
+        )
+        clear_cache()
+        direct = experiments.fig9(BENCH, LENGTH)
+        assert json.dumps(outputs["fig9"], sort_keys=True) == \
+            json.dumps(direct, sort_keys=True)
+        assert sweep.simulated == len(_fig9_points())
+
+    def test_points_deduplicate_across_figures(self):
+        # fig9 subsumes fig11's runs; the union must not double-declare.
+        union = points_for_figures(["fig9", "fig11"], BENCH, LENGTH)
+        assert len(union) == len(set(union))
+        assert len(union) == len(figure_points("fig9", BENCH, LENGTH))

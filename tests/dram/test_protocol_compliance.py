@@ -1,0 +1,268 @@
+"""Replay scheduler command streams through the JEDEC protocol checker.
+
+The timing model back-dates PRE/ACT preparation analytically instead of
+simulating command slots; these tests record the *implied* command
+stream from real scheduler runs (``Channel.start_command_log()``) and
+replay it through :class:`repro.dram.compliance.ProtocolChecker`, an
+independent referee that knows the JEDEC rules but nothing about the
+planner's arithmetic.  Both page policies are covered: open-page (the
+paper's FR-FCFS configuration) and close-page (every access precharges
+its bank afterwards).
+"""
+
+import random
+
+import pytest
+
+from repro.dram.channel import Channel
+from repro.dram.commands import MemRequest, OpType
+from repro.dram.compliance import (
+    DramCommand,
+    ProtocolChecker,
+    ProtocolViolation,
+)
+from repro.dram.timing import ChannelParams, DDR3_1600 as T
+from repro.sim.engine import Engine
+
+
+def _drive(channel, engine, ops):
+    """Enqueue a request stream, respecting backpressure, and run the
+    engine dry."""
+    pending = list(ops)
+
+    def feed():
+        while pending:
+            op, bank, row = pending[0]
+            if not channel.can_accept(op):
+                channel.notify_on_space(feed)
+                return
+            pending.pop(0)
+            channel.enqueue(MemRequest(op, 0, 0, bank=bank, row=row))
+
+    feed()
+    engine.run()
+    # Anything still held back gets fed as the queues drain.
+    while pending:
+        feed()
+        engine.run()
+
+
+def _mixed_ops(n=120, banks=8, rows=6, write_frac=0.4, seed=3):
+    rng = random.Random(seed)
+    ops = []
+    for _ in range(n):
+        op = OpType.WRITE if rng.random() < write_frac else OpType.READ
+        ops.append((op, rng.randrange(banks), rng.randrange(rows)))
+    return ops
+
+
+def _run_policy(page_policy, ops=None, **channel_kw):
+    engine = Engine()
+    channel = Channel(engine, "ch0", page_policy=page_policy, **channel_kw)
+    log = channel.start_command_log()
+    _drive(channel, engine, ops or _mixed_ops())
+    return channel, log
+
+
+class TestOpenPageCompliance:
+    def test_mixed_stream_is_compliant(self):
+        channel, log = _run_policy("open")
+        checker = ProtocolChecker(T, channel.params.num_banks)
+        assert checker.check(log) == []
+        mix = checker.summarize(log)
+        # The stream must actually exercise every command type the
+        # open-page policy can emit.
+        assert mix.get("ACT", 0) > 0
+        assert mix.get("PRE", 0) > 0          # row conflicts
+        assert mix.get("RD", 0) > 0 and mix.get("WR", 0) > 0
+
+    def test_write_drain_burst_is_compliant(self):
+        # Hammer writes past the drain watermark, then reads (tWTR path).
+        ops = [(OpType.WRITE, b % 8, b % 4) for b in range(60)]
+        ops += [(OpType.READ, b % 8, b % 4) for b in range(30)]
+        channel, log = _run_policy(
+            "open", ops=ops,
+            params=ChannelParams(write_drain_hi=8, write_drain_lo=2),
+        )
+        assert ProtocolChecker(T, 8).check(log) == []
+
+    def test_single_bank_conflict_storm_is_compliant(self):
+        # Alternating rows on one bank, one request in flight at a time
+        # (batch feeding would let FR-FCFS group the row hits and dodge
+        # the conflicts): every access is a conflict, so the PRE -> ACT
+        # -> CAS chain and tRC pacing all get exercised.
+        engine = Engine()
+        channel = Channel(engine, "ch0", page_policy="open")
+        log = channel.start_command_log()
+        for i in range(40):
+            channel.enqueue(MemRequest(OpType.READ, 0, 0, bank=0, row=i % 2))
+            engine.run()
+        checker = ProtocolChecker(T, 8)
+        assert checker.check(log) == []
+        assert checker.summarize(log)["PRE"] >= 38
+
+    def test_refresh_windows_are_compliant(self):
+        # Open-loop arrivals spread across simulated time so the rank's
+        # tREFI deadline actually passes while traffic is in flight
+        # (saturating the queues instead would chain serviced bursts far
+        # ahead of the decision clock and starve the refresh check).
+        engine = Engine()
+        channel = Channel(engine, "ch0", page_policy="open")
+        log = channel.start_command_log()
+        period = 200
+        n = T.tREFI // period + 50
+        for i in range(n):
+            req = MemRequest(OpType.READ, 0, 0,
+                             bank=i % 8, row=(i // 8) % 4)
+            engine.at(i * period, lambda r=req: channel.enqueue(r))
+        engine.run()
+        checker = ProtocolChecker(T, 8)
+        assert checker.check(log) == []
+        assert checker.summarize(log).get("REF", 0) >= 1
+        assert channel.rank.refreshes >= 1
+
+
+class TestClosePageCompliance:
+    def test_mixed_stream_is_compliant(self):
+        channel, log = _run_policy("close")
+        checker = ProtocolChecker(T, channel.params.num_banks)
+        assert checker.check(log) == []
+        mix = checker.summarize(log)
+        # Close-page precharges after every access...
+        assert mix["PRE"] >= mix["RD"] + mix["WR"] - 8
+        # ...so nothing can ever hit an open row.
+        assert channel.row_hit_rate() == 0.0
+
+    def test_back_to_back_same_row_still_reactivates(self):
+        ops = [(OpType.READ, 0, 0) for _ in range(20)]
+        channel, log = _run_policy("close", ops=ops)
+        checker = ProtocolChecker(T, 8)
+        assert checker.check(log) == []
+        assert checker.summarize(log)["ACT"] == 20
+
+    def test_write_recovery_fences_precharge(self):
+        ops = [(OpType.WRITE, 0, 0), (OpType.WRITE, 0, 0)]
+        channel, log = _run_policy("close", ops=ops)
+        assert ProtocolChecker(T, 8).check(log) == []
+        pres = sorted((c for c in log if c.kind == "PRE"),
+                      key=lambda c: c.time)
+        wrs = sorted((c for c in log if c.kind == "WR"),
+                     key=lambda c: c.time)
+        # PRE must clear the write burst + tWR, not just tRAS.
+        assert pres[0].time >= wrs[0].time + T.tCWL + T.tBURST + T.tWR
+
+
+class TestCheckerCatchesViolations:
+    """The referee itself must reject hand-made illegal streams."""
+
+    def _legal_prefix(self):
+        return [
+            DramCommand(0, "ACT", 0, 5),
+            DramCommand(T.tRCD, "RD", 0, 5),
+        ]
+
+    def test_cas_before_act(self):
+        with pytest.raises(ProtocolViolation, match="CAS before ACT"):
+            ProtocolChecker(T).check([DramCommand(0, "RD", 0, 1)])
+
+    def test_cas_wrong_row(self):
+        cmds = self._legal_prefix() + [
+            DramCommand(T.tRCD + 1, "RD", 0, 6),
+        ]
+        with pytest.raises(ProtocolViolation, match="row 6"):
+            ProtocolChecker(T).check(cmds)
+
+    def test_cas_inside_trcd(self):
+        cmds = [DramCommand(0, "ACT", 0, 5),
+                DramCommand(T.tRCD - 1, "RD", 0, 5)]
+        with pytest.raises(ProtocolViolation, match="tRCD"):
+            ProtocolChecker(T).check(cmds)
+
+    def test_act_without_pre(self):
+        cmds = self._legal_prefix() + [
+            DramCommand(10 * T.tRC, "ACT", 0, 7),
+        ]
+        with pytest.raises(ProtocolViolation, match="missing PRE"):
+            ProtocolChecker(T).check(cmds)
+
+    def test_pre_inside_tras(self):
+        cmds = [DramCommand(0, "ACT", 0, 5),
+                DramCommand(T.tRAS - 1, "PRE", 0)]
+        with pytest.raises(ProtocolViolation, match="tRAS"):
+            ProtocolChecker(T).check(cmds)
+
+    def test_act_inside_trp(self):
+        cmds = [
+            DramCommand(0, "ACT", 0, 5),
+            DramCommand(T.tRAS + T.tRTP, "PRE", 0),
+            DramCommand(T.tRAS + T.tRTP + T.tRP - 1, "ACT", 0, 6),
+        ]
+        with pytest.raises(ProtocolViolation, match="tRP"):
+            ProtocolChecker(T).check(cmds)
+
+    def test_trrd_between_banks(self):
+        cmds = [DramCommand(0, "ACT", 0, 1),
+                DramCommand(T.tRRD - 1, "ACT", 1, 1)]
+        with pytest.raises(ProtocolViolation, match="tRRD"):
+            ProtocolChecker(T).check(cmds)
+
+    def test_tfaw_five_activates(self):
+        cmds = [
+            DramCommand(i * T.tRRD, "ACT", i, 1) for i in range(4)
+        ]
+        cmds.append(DramCommand(T.tFAW - 1, "ACT", 4, 1))
+        with pytest.raises(ProtocolViolation, match="tFAW"):
+            ProtocolChecker(T).check(cmds)
+
+    def test_twtr_write_to_read(self):
+        cmds = [
+            DramCommand(0, "ACT", 0, 1),
+            DramCommand(T.tRCD, "WR", 0, 1),
+            # Read CAS immediately after write data: violates tWTR.
+            DramCommand(T.tRCD + T.tCWL + T.tBURST, "RD", 0, 1),
+        ]
+        with pytest.raises(ProtocolViolation, match="tWTR"):
+            ProtocolChecker(T).check(cmds)
+
+    def test_non_strict_accumulates(self):
+        checker = ProtocolChecker(T)
+        violations = checker.check(
+            [DramCommand(0, "RD", 0, 1), DramCommand(1, "WR", 0, 1)],
+            strict=False,
+        )
+        assert len(violations) >= 2
+
+    def test_tfaw_spaced_activates_pass(self):
+        cmds = [
+            DramCommand(0, "ACT", 0, 1),
+            DramCommand(T.tRRD, "ACT", 1, 1),
+            DramCommand(2 * T.tRRD, "ACT", 2, 1),
+            DramCommand(3 * T.tRRD, "ACT", 3, 1),
+            DramCommand(T.tFAW, "ACT", 4, 1),
+        ]
+        assert ProtocolChecker(T).check(cmds) == []
+
+
+class TestLoggingIsInert:
+    def test_no_log_by_default(self):
+        engine = Engine()
+        channel = Channel(engine, "ch0")
+        channel.enqueue(MemRequest(OpType.READ, 0, 0, bank=0, row=0))
+        engine.run()
+        assert channel.command_log is None
+        assert all(not b.record_commands for b in channel.banks)
+
+    def test_logging_does_not_change_timing(self):
+        done_plain, done_logged = [], []
+        for sink, log_on in ((done_plain, False), (done_logged, True)):
+            engine = Engine()
+            channel = Channel(engine, "ch0")
+            if log_on:
+                channel.start_command_log()
+            for op, bank, row in _mixed_ops(n=60):
+                channel.enqueue(MemRequest(
+                    op, 0, 0, bank=bank, row=row,
+                    on_complete=lambda t, s=sink: s.append(t),
+                ))
+            engine.run()
+        assert done_plain == done_logged

@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) for the Path ORAM protocol proper.
+
+``test_properties.py`` covers the dict abstraction, eviction planning and
+the codec; these properties target the protocol-state invariants the
+paper's Section III leans on:
+
+* stash occupancy stays bounded across arbitrary read/write/dummy mixes
+  (not just uniform reads), both at the post-access steady state and at
+  the mid-access peak;
+* the position map always names a leaf whose root-to-leaf path is
+  exactly the bucket set the access fetches (recorded via
+  ``trace_hook``), and write-back only touches fetched buckets;
+* every block lives in exactly one of {tree, stash} -- presence, which
+  ``check_invariants`` (a duplicate/placement scan) does not assert.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.oram.config import OramConfig
+from repro.oram.path_oram import PathOram
+
+SMALL = OramConfig(leaf_level=5, treetop_levels=1, subtree_levels=2)
+
+# One operation: (kind, block_id_fraction, byte_value) where kind is
+# 0 = read, 1 = write, 2 = dummy access.
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.floats(min_value=0.0, max_value=0.999),
+        st.integers(min_value=0, max_value=255),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+def _apply(oram, op):
+    """Run one generated operation; returns the block id or None."""
+    kind, frac, value = op
+    if kind == 2:
+        oram.dummy_access()
+        return None
+    block = int(frac * oram.config.num_user_blocks)
+    if kind == 1:
+        oram.write(block, bytes([value]) * oram.config.block_bytes)
+    else:
+        oram.read(block)
+    return block
+
+
+def _tree_occurrences(oram, block_id):
+    """Buckets currently holding ``block_id`` (heap indices)."""
+    return [
+        bucket
+        for bucket in oram.geometry.iter_buckets()
+        for block in oram._decode(bucket, oram._buckets[bucket])
+        if block.block_id == block_id
+    ]
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=ops_strategy, seed=st.integers(min_value=0, max_value=2**16))
+def test_stash_bounded_under_arbitrary_mixes(ops, seed):
+    """Occupancy stays bounded after *every* access, not just at the end.
+
+    The steady-state stash (after write-back) holds only blocks whose
+    path was full at every shared level -- a handful for this geometry.
+    The peak (mid-access, with a whole path spilled in) adds at most
+    (leaf_level+1) * Z blocks on top.
+    """
+    oram = PathOram(SMALL, seed=seed, stash_capacity=200)
+    path_blocks = (SMALL.leaf_level + 1) * SMALL.bucket_size
+    for op in ops:
+        _apply(oram, op)
+        assert len(oram.stash) <= 30
+    assert oram.stash.peak <= 30 + path_blocks
+    oram.check_invariants()
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=ops_strategy, seed=st.integers(min_value=0, max_value=2**16))
+def test_position_map_names_the_fetched_path(ops, seed):
+    """The leaf looked up before an access is exactly the path fetched.
+
+    Records the physical bucket trace through ``trace_hook`` and checks,
+    per access: the read burst is precisely ``path_buckets(old_leaf)``
+    root-to-leaf, and write-back stores only into fetched buckets.
+    """
+    trace = []
+    oram = PathOram(SMALL, seed=seed,
+                    trace_hook=lambda kind, b: trace.append((kind, b)))
+    pm = oram.state.position_map
+    for op in ops:
+        kind, frac, _value = op
+        block = int(frac * oram.config.num_user_blocks)
+        expected_leaf = None if kind == 2 else pm.lookup(block)
+        trace.clear()
+        _apply(oram, op)
+        reads = [b for k, b in trace if k == "read"]
+        writes = [b for k, b in trace if k == "write"]
+        if expected_leaf is not None:
+            assert reads == oram.geometry.path_buckets(expected_leaf)
+        else:
+            # Dummy accesses still fetch a full, well-formed path.
+            assert len(reads) == SMALL.leaf_level + 1
+            leaf = reads[-1] - oram.geometry.num_leaves
+            assert reads == oram.geometry.path_buckets(leaf)
+        assert set(writes) <= set(reads)
+        # After the access the block's fresh leaf is a valid path again.
+        if expected_leaf is not None:
+            new_leaf = pm.lookup(block)
+            assert 0 <= new_leaf < oram.config.num_leaves
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=ops_strategy, seed=st.integers(min_value=0, max_value=2**16))
+def test_every_block_in_exactly_one_place(ops, seed):
+    """Touched blocks live in exactly one of {tree, stash} -- presence.
+
+    ``check_invariants`` rejects duplicates and off-path placement but
+    cannot notice a block that vanished entirely; this scan can.
+    """
+    oram = PathOram(SMALL, seed=seed)
+    touched = set()
+    for op in ops:
+        block = _apply(oram, op)
+        if block is not None:
+            touched.add(block)
+    for block_id in touched:
+        in_tree = _tree_occurrences(oram, block_id)
+        in_stash = 1 if block_id in oram.stash else 0
+        assert len(in_tree) + in_stash == 1, (
+            f"block {block_id}: tree buckets {in_tree}, "
+            f"stash={bool(in_stash)}"
+        )
+        # And the copy is tagged with the position map's current leaf.
+        leaf = oram.state.position_map.lookup(block_id)
+        if in_stash:
+            assert oram.stash.get(block_id)[0] == leaf
+        else:
+            level = oram.geometry.level_of(in_tree[0])
+            assert oram.geometry.bucket_on_path(leaf, level) == in_tree[0]
+    oram.check_invariants()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Append sweep-performance records to ``BENCH_sweep.json``.
+
+The benchmark harness (``benchmarks/bench_sweep.py``) and CI call this
+after timing a sweep, building a wall-time / points-per-second
+trajectory across commits:
+
+    PYTHONPATH=src python tools/bench_trajectory.py \
+        --label ci --figures fig9 --workers 2 \
+        --points 13 --simulated 13 --wall-s 1.93 --trace-length 400
+
+``BENCH_sweep.json`` is a JSON array of records; :func:`append` is the
+importable form.  Writes are atomic (tmp + ``os.replace``) and a
+corrupt or missing file restarts the trajectory instead of crashing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+DEFAULT_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_sweep.json"
+)
+
+
+def load(path: Optional[str] = None) -> List[Dict[str, object]]:
+    """The current trajectory; tolerant of a missing/corrupt file."""
+    path = os.path.normpath(path or DEFAULT_PATH)
+    try:
+        with open(path) as fp:
+            records = json.load(fp)
+        return records if isinstance(records, list) else []
+    except (OSError, ValueError):
+        return []
+
+
+def append(record: Dict[str, object],
+           path: Optional[str] = None) -> Dict[str, object]:
+    """Append one record (timestamp and derived rate filled in)."""
+    path = os.path.normpath(path or DEFAULT_PATH)
+    record = dict(record)
+    record.setdefault("timestamp", time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                                 time.gmtime()))
+    wall = record.get("wall_s")
+    points = record.get("points")
+    if wall and points and "points_per_s" not in record:
+        record["points_per_s"] = round(points / wall, 3)
+    records = load(path)
+    records.append(record)
+    tmp = f"{path}.tmp-{os.getpid()}"
+    with open(tmp, "w") as fp:
+        json.dump(records, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    os.replace(tmp, path)
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="append one sweep timing record to BENCH_sweep.json"
+    )
+    parser.add_argument("--label", required=True,
+                        help="who measured (e.g. ci, bench, local)")
+    parser.add_argument("--figures", default="",
+                        help="comma-separated figure names swept")
+    parser.add_argument("--workers", type=int, required=True)
+    parser.add_argument("--points", type=int, required=True)
+    parser.add_argument("--simulated", type=int, required=True)
+    parser.add_argument("--wall-s", type=float, required=True)
+    parser.add_argument("--trace-length", type=int, required=True)
+    parser.add_argument("--out", default=None,
+                        help=f"trajectory file (default {DEFAULT_PATH})")
+    args = parser.parse_args(argv)
+    record = append(
+        {
+            "label": args.label,
+            "figures": [f for f in args.figures.split(",") if f],
+            "workers": args.workers,
+            "points": args.points,
+            "simulated": args.simulated,
+            "wall_s": args.wall_s,
+            "trace_length": args.trace_length,
+        },
+        path=args.out,
+    )
+    print(json.dumps(record, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
