@@ -33,6 +33,35 @@ class BobPacketSizes:
     read_response: int = 72
 
 
+class _NormalOp:
+    """Completion chain for one normal-traffic request.
+
+    One instance replaces the two closures the submit path used to
+    allocate per request (DRAM completion, then up-link delivery for
+    reads): the object is handed to the sub-channel as ``on_complete``
+    and, for reads, re-used as the up link's delivery callback.
+    """
+
+    __slots__ = ("bob", "on_complete", "awaiting_data")
+
+    def __init__(self, bob: "BobChannel", on_complete, is_read: bool) -> None:
+        self.bob = bob
+        self.on_complete = on_complete
+        #: True while a read still owes its data packet on the up link.
+        self.awaiting_data = is_read
+
+    def __call__(self, time: int) -> None:
+        bob = self.bob
+        if self.awaiting_data:
+            # Read data returns over the up link first; this object is
+            # also the delivery callback, re-invoked with the arrival.
+            self.awaiting_data = False
+            bob._packets_up()
+            bob.up.send(bob.packet_sizes.read_response, self, tag="rdata")
+            return
+        bob._finish(self.on_complete, time)
+
+
 class BobChannel:
     """One serial-link channel with 1..4 DRAM sub-channels behind it."""
 
@@ -65,6 +94,8 @@ class BobChannel:
         self._held: Dict[int, List[MemRequest]] = {
             i: [] for i in range(len(subchannels))
         }
+        self._packets_down = self.stats.counter("packets_down").add
+        self._packets_up = self.stats.counter("packets_up").add
 
     # ------------------------------------------------------------------
     # Normal traffic
@@ -87,22 +118,25 @@ class BobChannel:
         on_complete: Optional[Callable[[int], None]] = None,
     ) -> None:
         """Send one request through the channel."""
-        if not self.can_accept(op):
+        if self._inflight >= self.window:
             raise RuntimeError(f"bob{self.channel_id}: window full")
         self._inflight += 1
-        size = (
-            self.packet_sizes.write_request
-            if op is OpType.WRITE
-            else self.packet_sizes.read_request
-        )
+        if op is OpType.WRITE:
+            # Writes finish at the simple controller; reads owe a data
+            # packet on the up link first (see _NormalOp).
+            size = self.packet_sizes.write_request
+            tag = "wdata"
+            done = _NormalOp(self, on_complete, False)
+        else:
+            size = self.packet_sizes.read_request
+            tag = "req"
+            done = _NormalOp(self, on_complete, True)
         req = MemRequest(
             op, self.channel_id, subchannel, bank, row, col,
-            app_id=app_id, traffic=traffic,
-            on_complete=lambda t, r=None: self._dram_done(op, on_complete, t),
+            app_id, traffic, 0, done,
         )
-        self.stats.counter("packets_down").add()
-        self.down.send(size, lambda _t, r=req: self._arrive(r),
-                       tag="wdata" if op is OpType.WRITE else "req")
+        self._packets_down()
+        self.down.send(size, self._arrive, tag=tag, arg=req)
 
     def _arrive(self, req: MemRequest) -> None:
         """Packet reached the simple controller: queue into DRAM."""
@@ -120,20 +154,6 @@ class BobChannel:
             sub.enqueue(held.pop(0))
         if held:
             sub.notify_on_space(lambda s=subchannel: self._drain_held(s))
-
-    def _dram_done(
-        self, op: OpType, on_complete: Optional[Callable[[int], None]], time: int
-    ) -> None:
-        if op is OpType.READ:
-            # Read data returns over the up link as a 72 B packet.
-            self.stats.counter("packets_up").add()
-            self.up.send(
-                self.packet_sizes.read_response,
-                lambda t: self._finish(on_complete, t),
-                tag="rdata",
-            )
-        else:
-            self._finish(on_complete, time)
 
     def _finish(self, on_complete: Optional[Callable[[int], None]], time: int) -> None:
         self._inflight -= 1

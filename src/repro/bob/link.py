@@ -11,7 +11,8 @@ the channel model).  Two instances form a full-duplex BOB link.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from heapq import heappush
+from typing import Callable, Dict
 
 from repro.obs.tracer import NULL_TRACER
 from repro.sim.engine import Engine, TICKS_PER_NS, ns
@@ -37,8 +38,19 @@ class LinkParams:
         return max(1, int(round(nbytes / self.bytes_per_ns * TICKS_PER_NS)))
 
 
+#: Sentinel for :meth:`SerialLink.send`'s default "deliver the arrival
+#: time" behavior.
+_ARRIVAL_TIME = object()
+
+
 class SerialLink:
-    """One direction of a BOB link: FIFO serialization, fixed latency."""
+    """One direction of a BOB link: FIFO serialization, fixed latency.
+
+    The send path runs once per packet on every BOB access, so the
+    per-size serialization ticks are memoized (packet sizes come from a
+    handful of fixed formats) and delivery is scheduled with the engine's
+    ``(callback, arg)`` form -- no closure per packet.
+    """
 
     def __init__(self, engine: Engine, name: str,
                  params: LinkParams = LinkParams(), tracer=None) -> None:
@@ -50,24 +62,37 @@ class SerialLink:
         self._tracer = (
             tracer if tracer is not None else NULL_TRACER
         ).category("link")
+        self._latency = params.latency
+        self._ser_cache: Dict[int, int] = {}
+        self._packets = self.stats.counter("packets")
+        self._bytes = self.stats.counter("bytes")
 
-    def send(self, nbytes: int, deliver: Callable[[int], None],
-             tag: str = "pkt") -> int:
-        """Queue a packet; ``deliver(time)`` fires at the far end.
+    def send(self, nbytes: int, deliver: Callable[[object], None],
+             tag: str = "pkt", arg: object = _ARRIVAL_TIME) -> int:
+        """Queue a packet; ``deliver`` fires at the far end.
 
-        Returns the delivery time (useful for tests).  Packets occupy the
-        link in FIFO order; a saturated link queues without bound, which
-        callers bound via their in-flight windows.  ``tag`` labels the
-        packet's protocol role in the trace (``req``/``wdata``/``rdata``
-        for normal BOB traffic, ``raw`` for sealed secure-engine packets,
-        ``remote`` for split-tree messages).
+        By default ``deliver(arrival_time)`` is called; pass ``arg`` to
+        call ``deliver(arg)`` instead (lets callers route a request object
+        without wrapping it in a closure).  Returns the delivery time
+        (useful for tests).  Packets occupy the link in FIFO order; a
+        saturated link queues without bound, which callers bound via
+        their in-flight windows.  ``tag`` labels the packet's protocol
+        role in the trace (``req``/``wdata``/``rdata`` for normal BOB
+        traffic, ``raw`` for sealed secure-engine packets, ``remote`` for
+        split-tree messages).
         """
-        ser = self.params.serialization(nbytes)
-        start = max(self.engine.now, self._busy_until)
-        self._busy_until = start + ser
-        arrive = self._busy_until + self.params.latency
-        self.stats.counter("packets").add()
-        self.stats.counter("bytes").add(nbytes)
+        ser = self._ser_cache.get(nbytes)
+        if ser is None:
+            ser = self._ser_cache[nbytes] = self.params.serialization(nbytes)
+        now = self.engine.now
+        start = self._busy_until
+        if now > start:
+            start = now
+        busy = start + ser
+        self._busy_until = busy
+        arrive = busy + self._latency
+        self._packets.value += 1
+        self._bytes.value += nbytes
         tracer = self._tracer
         if tracer.enabled:
             # One event per packet, emitted at send time: serialization
@@ -75,9 +100,17 @@ class SerialLink:
             # timing-leakage check replays Section III-B from these.
             tracer.complete(
                 "link", tag, self.name, start, ser,
-                {"bytes": nbytes, "sent": self.engine.now, "arrive": arrive},
+                {"bytes": nbytes, "sent": now, "arrive": arrive},
             )
-        self.engine.at(arrive, lambda t=arrive: deliver(t))
+        # Inline of Engine.call_at: arrive > now always (serialization
+        # takes at least one tick), so the past-schedule guard is moot.
+        engine = self.engine
+        seq = engine._seq
+        engine._seq = seq + 1
+        heappush(
+            engine._queue,
+            (arrive, seq, deliver, arrive if arg is _ARRIVAL_TIME else arg),
+        )
         return arrive
 
     def queue_delay(self) -> int:

@@ -8,6 +8,7 @@ Subcommands
 ``exp EXPERIMENT``   regenerate a paper table/figure (fig4, table1, fig8,
                      fig9, fig10, fig11, fig12, fig13, or ``all``)
 ``profile BENCH``    print the T25mix/T33 profiling decision for a benchmark
+``perf SCHEME``      cProfile one scheme run and print the hottest functions
 ``schemes``          list the recognized scheme names
 """
 
@@ -118,6 +119,34 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print(f"  ratio          : {profile.ratio:.3f}")
     print(f"  category       : {profile.decision.category} "
           f"(suggest c={profile.decision.suggested_c})")
+    return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Profile one scheme run under cProfile.
+
+    A developer convenience for the hot-path work tracked in
+    ``BENCH_sim.json``: runs the same simulation as ``doram run`` with
+    the profiler attached and prints the top functions.  Note cProfile's
+    per-call overhead inflates small, frequently-called functions
+    relative to the sampling profile -- treat the ranking as a map, not
+    a measurement (see DESIGN.md, "Performance engineering").
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_scheme(args.scheme, args.benchmark, args.trace_length)
+    profiler.disable()
+    print(f"scheme={args.scheme} benchmark={args.benchmark} "
+          f"trace={args.trace_length}: {result.events:,} events")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort)
+    stats.print_stats(args.top)
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"wrote {args.output} (load with pstats or snakeviz)")
     return 0
 
 
@@ -285,6 +314,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--trace-length", type=int,
                         default=experiments.DEFAULT_TRACE_LENGTH)
     p_prof.set_defaults(func=cmd_profile)
+
+    p_perf = sub.add_parser(
+        "perf", help="cProfile one scheme run (hot-path development aid)"
+    )
+    p_perf.add_argument("scheme")
+    p_perf.add_argument("--benchmark", default="libq")
+    p_perf.add_argument("--trace-length", type=int, default=2000)
+    p_perf.add_argument("--top", type=int, default=25,
+                        help="number of functions to print (default 25)")
+    p_perf.add_argument("--sort", default="cumulative",
+                        choices=("cumulative", "tottime", "ncalls"),
+                        help="pstats sort key (default cumulative)")
+    p_perf.add_argument("--output", default="",
+                        help="also dump raw pstats data to this path")
+    p_perf.set_defaults(func=cmd_perf)
 
     p_schemes = sub.add_parser("schemes", help="list schemes/benchmarks")
     p_schemes.set_defaults(func=cmd_schemes)

@@ -208,15 +208,9 @@ class SecureDelegator:
             return False
         sub.enqueue(
             MemRequest(
-                op,
-                placement.channel,
-                placement.subchannel,
-                placement.bank,
-                placement.row,
-                placement.col,
-                app_id=self.app_id,
-                traffic=TrafficClass.SECURE,
-                on_complete=on_complete,
+                op, placement.channel, placement.subchannel,
+                placement.bank, placement.row, placement.col,
+                self.app_id, TrafficClass.SECURE, 0, on_complete,
             )
         )
         return True
@@ -360,15 +354,9 @@ class SecureDelegator:
         """Queue the block access at the normal channel's sub-channel."""
         sub = bob.subchannels[placement.subchannel]
         req = MemRequest(
-            op,
-            placement.channel,
-            placement.subchannel,
-            placement.bank,
-            placement.row,
-            placement.col,
-            app_id=self.app_id,
-            traffic=TrafficClass.SECURE,
-            on_complete=on_complete,
+            op, placement.channel, placement.subchannel,
+            placement.bank, placement.row, placement.col,
+            self.app_id, TrafficClass.SECURE, 0, on_complete,
         )
         self._enqueue_or_hold(sub, req)
 

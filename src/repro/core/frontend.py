@@ -46,6 +46,27 @@ class OramBackend:
         raise NotImplementedError
 
 
+class _DelayedResponse:
+    """Schedule ``on_response(now)`` a fixed delay after a completion.
+
+    ``engine.now`` at dispatch equals the scheduled tick, so passing the
+    tick through ``call_at`` is identical to the former
+    ``at(when, lambda: on_response(engine.now))`` -- without the two
+    closures per ORAM operation.
+    """
+
+    __slots__ = ("engine", "delay", "on_response")
+
+    def __init__(self, engine: Engine, delay: int, on_response) -> None:
+        self.engine = engine
+        self.delay = delay
+        self.on_response = on_response
+
+    def __call__(self, time: int) -> None:
+        when = time + self.delay
+        self.engine.call_at(when, self.on_response, when)
+
+
 class DelegatorBackend(OramBackend):
     """Packets over the secure BOB link to the SD."""
 
@@ -75,23 +96,47 @@ class DelegatorBackend(OramBackend):
     def submit(
         self, block_id: Optional[int], on_response: Callable[[int], None]
     ) -> None:
-        def respond(_read_done_time: int) -> None:
-            # SD -> CPU response packet; decrypt/check at the CPU side.
-            self.secure_bob.send_up(
-                PACKET_BYTES,
-                lambda t: self.engine.at(
-                    t + self.cpu_process_ticks,
-                    lambda: on_response(self.engine.now),
-                ),
-            )
-
-        # CPU -> SD request packet (OTP-sealed, fixed 72 B).
+        # CPU -> SD request packet (OTP-sealed, fixed 72 B); the op
+        # object carries itself through the three stages.
         self.secure_bob.send_down(
-            PACKET_BYTES,
-            lambda _t: self.delegator.receive_request(
-                block_id, respond, self.controller
-            ),
+            PACKET_BYTES, _DelegatorOp(self, block_id, on_response)
         )
+
+
+class _DelegatorOp:
+    """One D-ORAM operation's round trip, one allocation.
+
+    Stage 0: request packet arrives at the SD -> hand to the delegator.
+    Stage 1: the ORAM read finishes -> response packet up the link.
+    Stage 2: response arrives at the CPU -> ``on_response`` after the
+    CPU-side decrypt/check delay.  Each stage is invoked exactly once,
+    in order, so a single callable with a stage counter replaces the
+    four closures the submit path used to allocate.
+    """
+
+    __slots__ = ("backend", "block_id", "on_response", "stage")
+
+    def __init__(self, backend: DelegatorBackend, block_id, on_response) -> None:
+        self.backend = backend
+        self.block_id = block_id
+        self.on_response = on_response
+        self.stage = 0
+
+    def __call__(self, time: int) -> None:
+        backend = self.backend
+        stage = self.stage
+        if stage == 0:
+            self.stage = 1
+            backend.delegator.receive_request(
+                self.block_id, self, backend.controller
+            )
+        elif stage == 1:
+            # SD -> CPU response packet; decrypt/check at the CPU side.
+            self.stage = 2
+            backend.secure_bob.send_up(PACKET_BYTES, self)
+        else:
+            when = time + backend.cpu_process_ticks
+            backend.engine.call_at(when, self.on_response, when)
 
 
 class OnChipBackend(OramBackend):
@@ -112,9 +157,7 @@ class OnChipBackend(OramBackend):
     ) -> None:
         self.sequencer.submit(
             block_id,
-            lambda t: self.engine.at(
-                t + self.crypto_ticks, lambda: on_response(self.engine.now)
-            ),
+            _DelayedResponse(self.engine, self.crypto_ticks, on_response),
         )
 
 
@@ -143,6 +186,9 @@ class OramFrontend(MemoryPort):
         self._inflight = False
         self._space_waiters: list = []
         self._emit_scheduled = False
+        self._app_requests_add = self.stats.counter("app_requests").add
+        self._backlog_record = self.stats.histogram("backlog").record
+        self._response_record = self.stats.latency("oram_response").record
 
     def start(self) -> None:
         """Begin the fixed-rate emission loop at time zero."""
@@ -170,7 +216,7 @@ class OramFrontend(MemoryPort):
             raise RuntimeError("ORAM frontend queue full")
         block_id = line_addr % self.backend.num_user_blocks
         self._queue.append((op is OpType.WRITE, block_id, on_complete))
-        self.stats.counter("app_requests").add()
+        self._app_requests_add()
 
     def notify_on_space(self, callback: Callable[[], None]) -> None:
         self._space_waiters.append(callback)
@@ -196,7 +242,7 @@ class OramFrontend(MemoryPort):
             is_write, block_id, on_complete = False, None, None
             real = False
         self.pacer.emitted(real)
-        self.stats.histogram("backlog").record(len(self._queue))
+        self._backlog_record(len(self._queue))
         self._inflight = True
         issued_at = self.engine.now
         tracer = self._tracer
@@ -209,7 +255,7 @@ class OramFrontend(MemoryPort):
 
         def on_response(time: int) -> None:
             self._inflight = False
-            self.stats.latency("oram_response").record(time - issued_at)
+            self._response_record(time - issued_at)
             if tracer.enabled:
                 tracer.instant(
                     "oram", "response", self.name, time,

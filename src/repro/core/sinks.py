@@ -39,15 +39,9 @@ class DirectChannelSink(BlockSink):
             return False
         channel.enqueue(
             MemRequest(
-                op,
-                placement.channel,
-                placement.subchannel,
-                placement.bank,
-                placement.row,
-                placement.col,
-                app_id=self.app_id,
-                traffic=TrafficClass.SECURE,
-                on_complete=on_complete,
+                op, placement.channel, placement.subchannel,
+                placement.bank, placement.row, placement.col,
+                self.app_id, TrafficClass.SECURE, 0, on_complete,
             )
         )
         return True

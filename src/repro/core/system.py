@@ -40,6 +40,37 @@ from repro.trace.benchmarks import benchmark_trace
 APP_SLICE_LINES = 1 << 19
 
 
+class _RouterDone:
+    """Per-request completion for the NS-App routers.
+
+    One ``__slots__`` object instead of a closure per issued request; the
+    latency-stat update is inlined (latency is non-negative since
+    completion never precedes issue).
+    """
+
+    __slots__ = ("stat", "issued", "oc")
+
+    def __init__(self, stat: LatencyStat, issued: int, oc) -> None:
+        self.stat = stat
+        self.issued = issued
+        self.oc = oc
+
+    def __call__(self, time: int) -> None:
+        lat = time - self.issued
+        stat = self.stat
+        stat.count += 1
+        stat.total += lat
+        bound = stat.min
+        if bound is None or lat < bound:
+            stat.min = lat
+        bound = stat.max
+        if bound is None or lat > bound:
+            stat.max = lat
+        oc = self.oc
+        if oc is not None:
+            oc(time)
+
+
 class DirectRouter(MemoryPort):
     """NS-App port for the direct-attached architecture."""
 
@@ -63,6 +94,8 @@ class DirectRouter(MemoryPort):
         self.stats = StatSet(f"router{app_id}")
         self._held: List[MemRequest] = []
         self._space_waiters: List[Callable[[], None]] = []
+        self._lat_read = self.stats.latency("read_latency")
+        self._lat_write = self.stats.latency("write_latency")
 
     def can_accept(self, op: OpType) -> bool:
         return len(self._held) < self.hold_cap
@@ -71,18 +104,15 @@ class DirectRouter(MemoryPort):
         self._space_waiters.append(callback)
 
     def issue(self, op, line_addr, app_id, on_complete) -> None:
-        addr = self.interleaver.map_line(line_addr)
-        issued = self.engine.now
-        kind = "write" if op is OpType.WRITE else "read"
-
-        def done(time: int) -> None:
-            self.stats.latency(f"{kind}_latency").record(time - issued)
-            if on_complete is not None:
-                on_complete(time)
-
+        channel, subchannel, bank, row, col = \
+            self.interleaver.map_line_tuple(line_addr)
+        done = _RouterDone(
+            self._lat_write if op is OpType.WRITE else self._lat_read,
+            self.engine.now, on_complete,
+        )
         req = MemRequest(
-            op, addr.channel, addr.subchannel, addr.bank, addr.row, addr.col,
-            app_id=self.app_id, traffic=TrafficClass.NORMAL, on_complete=done,
+            op, channel, subchannel, bank, row, col,
+            self.app_id, TrafficClass.NORMAL, 0, done,
         )
         self._send_or_hold(req)
 
@@ -134,6 +164,8 @@ class BobRouter(MemoryPort):
         self.stats = StatSet(f"router{app_id}")
         self._held: List[Tuple] = []
         self._space_waiters: List[Callable[[], None]] = []
+        self._lat_read = self.stats.latency("read_latency")
+        self._lat_write = self.stats.latency("write_latency")
 
     def can_accept(self, op: OpType) -> bool:
         return len(self._held) < self.hold_cap
@@ -152,14 +184,10 @@ class BobRouter(MemoryPort):
 
     def issue(self, op, line_addr, app_id, on_complete) -> None:
         channel, subchannel, bank, row, col = self._map(line_addr)
-        issued = self.engine.now
-        kind = "write" if op is OpType.WRITE else "read"
-
-        def done(time: int) -> None:
-            self.stats.latency(f"{kind}_latency").record(time - issued)
-            if on_complete is not None:
-                on_complete(time)
-
+        done = _RouterDone(
+            self._lat_write if op is OpType.WRITE else self._lat_read,
+            self.engine.now, on_complete,
+        )
         self._send_or_hold((op, channel, subchannel, bank, row, col, done))
 
     def _send_or_hold(self, item: Tuple) -> None:

@@ -21,18 +21,27 @@ under 1 % and identical across schemes.
 The core talks to the memory system through the small :class:`MemoryPort`
 duck-type, which lets the same model drive direct-attached channels, BOB
 links, or the ORAM front end.
+
+The wake/retire/fetch methods run once per memory event across every core
+in a sweep, so they cache the pipeline widths as plain ints, pre-bind the
+stat recorders (no f-string keys per retired op), and use the pending op
+itself as its completion callback (no closure per issued load).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from heapq import heappush
 from typing import Callable, Deque, Iterator, Optional
 
 from repro.dram.commands import OpType
-from repro.sim.engine import CPU_CYCLE_TICKS, Engine
+from repro.sim.engine import CPU_CYCLE_TICKS, Engine, _NO_ARG
 from repro.sim.stats import StatSet
 from repro.trace.trace_format import TraceRecord
+
+_READ = OpType.READ
+_WRITE = OpType.WRITE
 
 
 @dataclass(frozen=True)
@@ -72,19 +81,40 @@ class MemoryPort:
 
 
 class _PendingOp:
-    """A memory instruction occupying the ROB."""
+    """A memory instruction occupying the ROB.
 
-    __slots__ = ("idx", "is_write", "complete", "issued_at")
+    A pending load doubles as its own completion callback: the memory
+    system calls ``entry(finish_time)``, sparing the core a closure
+    allocation per issued read.
+    """
 
-    def __init__(self, idx: int, is_write: bool, issued_at: int) -> None:
+    __slots__ = ("idx", "is_write", "complete", "issued_at", "core")
+
+    def __init__(self, idx: int, is_write: bool, issued_at: int,
+                 core: "Core") -> None:
         self.idx = idx
         self.is_write = is_write
         self.issued_at = issued_at
         self.complete: Optional[int] = None
+        self.core = core
+
+    def __call__(self, time: int) -> None:
+        self.complete = time
+        self.core._schedule_wake(time)
 
 
 class Core:
     """One trace-driven core."""
+
+    __slots__ = (
+        "engine", "app_id", "params", "port", "on_finish", "name", "stats",
+        "_trace", "_gap_remaining", "_mem_op", "_trace_exhausted",
+        "_instr_fetched", "_fetch_time", "_retired_idx", "_retire_time",
+        "_pending", "finished", "finish_time", "_wake_pending_at",
+        "_waiting_for_space", "_rob_size", "_fetch_width", "_retire_width",
+        "_loads_retired", "_stores_retired", "_loads_issued",
+        "_stores_issued", "_load_to_use",
+    )
 
     def __init__(
         self,
@@ -121,6 +151,16 @@ class Core:
         self._wake_pending_at: Optional[int] = None
         self._waiting_for_space = False
 
+        # Hot-path caches (see module docstring).
+        self._rob_size = params.rob_size
+        self._fetch_width = params.fetch_width
+        self._retire_width = params.retire_width
+        self._loads_retired = self.stats.counter("loads_retired")
+        self._stores_retired = self.stats.counter("stores_retired")
+        self._loads_issued = self.stats.counter("loads_issued")
+        self._stores_issued = self.stats.counter("stores_issued")
+        self._load_to_use = self.stats.latency("load_to_use")
+
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Schedule the first wake at time 0."""
@@ -134,148 +174,215 @@ class Core:
     # Wake machinery
     # ------------------------------------------------------------------
     def _schedule_wake(self, time: int) -> None:
-        time = max(time, self.engine.now)
-        if self._wake_pending_at is not None and self._wake_pending_at <= time:
+        engine = self.engine
+        now = engine.now
+        if time < now:
+            time = now
+        pending = self._wake_pending_at
+        if pending is not None and pending <= time:
             return
         self._wake_pending_at = time
-        self.engine.at(time, self._wake)
+        # Inline of ``engine.at(time, self._wake)``: the clamp above
+        # guarantees ``time >= now``, so the past-time guard is redundant
+        # and this is the single hottest scheduling site in a sweep.
+        seq = engine._seq
+        engine._seq = seq + 1
+        heappush(engine._queue, (time, seq, self._wake, _NO_ARG))
 
     def _wake(self) -> None:
+        """Advance retirement, fetch/issue, then re-arm the next wake.
+
+        One fused pass: half of every whole-system run's dispatches are
+        core wakes, so the retirement and fetch loops share one set of
+        locals (written back on every exit) instead of paying separate
+        method calls and attribute round-trips.  Nothing reached from
+        ``port.issue``/``notify_on_space`` mutates these fields
+        synchronously -- completions and space callbacks only schedule
+        wakes -- and the wake this pass decides on is pushed exactly
+        where the unfused code pushed it (before any finish callback),
+        preserving engine sequence order.
+        """
         self._wake_pending_at = None
         if self.finished:
             return
-        self._advance_retirement(self.engine.now)
-        self._fetch_and_issue(self.engine.now)
-        self._check_finished()
-        if self.finished or self._wake_pending_at is not None:
+        engine = self.engine
+        now = engine.now
+        pending = self._pending
+        retire_width = self._retire_width
+        retired_idx = self._retired_idx
+        retire_time = self._retire_time
+        instr_fetched = self._instr_fetched
+
+        # ---- retirement: retire everything that can retire by now ----
+        while True:
+            frontier = pending[0].idx if pending else instr_fetched
+            gap = frontier - retired_idx
+            if gap > 0:
+                full = retire_time + -(-gap // retire_width) * CPU_CYCLE_TICKS
+                if full <= now:
+                    retired_idx = frontier
+                    retire_time = full
+                else:
+                    avail = (now - retire_time) // CPU_CYCLE_TICKS
+                    n = avail * retire_width
+                    if n > gap:
+                        n = gap
+                    if n > 0:
+                        retired_idx += n
+                        retire_time += -(-n // retire_width) * CPU_CYCLE_TICKS
+                    break  # pace-limited; nothing older can unblock us
+            if not pending:
+                break
+            head = pending[0]
+            if head.idx != retired_idx:
+                break  # younger than the pace frontier; loop handled above
+            complete = head.complete
+            if complete is None or complete > now:
+                break  # oldest op still waiting on memory
+            if complete > retire_time:
+                retire_time = complete
+            retired_idx += 1
+            pending.popleft()
+            if head.is_write:
+                self._stores_retired.value += 1
+            else:
+                self._loads_retired.value += 1
+                # Inline of LatencyStat.record (completion time is
+                # never before issue, so the negative guard is moot).
+                lat = complete - head.issued_at
+                stat = self._load_to_use
+                stat.count += 1
+                stat.total += lat
+                bound = stat.min
+                if bound is None or lat < bound:
+                    stat.min = lat
+                bound = stat.max
+                if bound is None or lat > bound:
+                    stat.max = lat
+        self._retired_idx = retired_idx
+        self._retire_time = retire_time
+
+        # ---- fetch and issue ----
+        rob_size = self._rob_size
+        fetch_width = self._fetch_width
+        port = self.port
+        gap_remaining = self._gap_remaining
+        fetch_time = self._fetch_time
+        mem_op = self._mem_op
+        wake_at = None
+        try:
+            while True:
+                if mem_op is None and gap_remaining == 0:
+                    # Inline of the old _pull_next_record.
+                    if self._trace_exhausted:
+                        break
+                    try:
+                        mem_op = next(self._trace)
+                    except StopIteration:
+                        self._trace_exhausted = True
+                        break
+                    gap_remaining = mem_op.gap
+                free = rob_size - (instr_fetched - retired_idx)
+                if free <= 0:
+                    if pending and pending[0].complete is None:
+                        break  # the read completion callback will wake us
+                    # Pace-limited: retirement frees slots next cycle.  The
+                    # retirement pass guarantees retire_time + 1 cycle > now,
+                    # so this wake always lands strictly in the future.
+                    wake_at = retire_time + CPU_CYCLE_TICKS
+                    break
+                if fetch_time > now:
+                    wake_at = fetch_time
+                    break
+
+                # fetch_time <= now from here on, so issue/fetch stamps
+                # collapse to ``now``.
+                if gap_remaining > 0:
+                    n = gap_remaining if gap_remaining < free else free
+                    instr_fetched += n
+                    gap_remaining -= n
+                    fetch_time = now + -(-n // fetch_width) * CPU_CYCLE_TICKS
+                    continue
+
+                record = mem_op
+                if record is None:
+                    continue
+                is_write = record.is_write
+                op = _WRITE if is_write else _READ
+                if not port.can_accept(op):
+                    if not self._waiting_for_space:
+                        self._waiting_for_space = True
+                        port.notify_on_space(self._space_available)
+                    break
+
+                entry = _PendingOp(instr_fetched, is_write, now, self)
+                pending.append(entry)
+                instr_fetched += 1
+                fetch_time = now + CPU_CYCLE_TICKS
+                mem_op = None
+
+                if is_write:
+                    # Stores retire once accepted by the write queue.
+                    entry.complete = now
+                    port.issue(op, record.line_addr, self.app_id, None)
+                    self._stores_issued.value += 1
+                else:
+                    # The entry is its own completion callback.
+                    port.issue(op, record.line_addr, self.app_id, entry)
+                    self._loads_issued.value += 1
+        finally:
+            self._instr_fetched = instr_fetched
+            self._gap_remaining = gap_remaining
+            self._fetch_time = fetch_time
+            self._mem_op = mem_op
+
+        # ---- re-arm: push the wake the fetch loop decided on ----
+        if wake_at is not None:
+            # A fetch-loop wake implies undrained fetch state, so the
+            # finish check below cannot fire; pushing here keeps the
+            # engine seq order of the unfused code.
+            if wake_at < now:
+                wake_at = now
+            self._wake_pending_at = wake_at
+            seq = engine._seq
+            engine._seq = seq + 1
+            heappush(engine._queue, (wake_at, seq, self._wake, _NO_ARG))
+            return
+        if (
+            self._trace_exhausted
+            and mem_op is None
+            and gap_remaining == 0
+            and not pending
+        ):
+            self._check_finished()
+        if self.finished:
             return
         # Nothing else will wake us if the only remaining work is paced
         # retirement of instructions behind an already-completed head op
         # (e.g. a store, or a load whose data arrived this tick).
-        if self._pending and self._pending[0].complete is not None:
-            head = self._pending[0]
-            gap = head.idx - self._retired_idx
-            pace_done = self._retire_time + self._cycles_ticks(
-                gap, self.params.retire_width
-            )
-            self._schedule_wake(max(pace_done, head.complete))
+        if pending:
+            head = pending[0]
+            complete = head.complete
+            if complete is not None:
+                gap = head.idx - retired_idx
+                pace_done = retire_time + (
+                    -(-gap // retire_width) * CPU_CYCLE_TICKS
+                )
+                target = pace_done if pace_done > complete else complete
+                if target < now:
+                    target = now
+                self._wake_pending_at = target
+                seq = engine._seq
+                engine._seq = seq + 1
+                heappush(engine._queue, (target, seq, self._wake, _NO_ARG))
 
     # ------------------------------------------------------------------
-    # Retirement
+    # Retirement accounting
     # ------------------------------------------------------------------
     def _cycles_ticks(self, n_instr: int, width: int) -> int:
         """Ticks to move ``n_instr`` instructions at ``width`` per cycle."""
         cycles = -(-n_instr // width)  # ceil division
         return cycles * CPU_CYCLE_TICKS
-
-    def _advance_retirement(self, now: int) -> None:
-        """Retire everything that can retire by ``now``."""
-        params = self.params
-        while True:
-            frontier = self._pending[0].idx if self._pending else self._instr_fetched
-            gap = frontier - self._retired_idx
-            if gap > 0:
-                full = self._retire_time + self._cycles_ticks(gap, params.retire_width)
-                if full <= now:
-                    self._retired_idx = frontier
-                    self._retire_time = full
-                else:
-                    avail = (now - self._retire_time) // CPU_CYCLE_TICKS
-                    n = min(gap, avail * params.retire_width)
-                    if n > 0:
-                        self._retired_idx += n
-                        self._retire_time += self._cycles_ticks(
-                            n, params.retire_width
-                        )
-                    return  # pace-limited; nothing older can unblock us
-            if not self._pending:
-                return
-            head = self._pending[0]
-            if head.idx != self._retired_idx:
-                return  # younger than the pace frontier; loop handled above
-            if head.complete is None or head.complete > now:
-                return  # oldest op still waiting on memory
-            self._retire_time = max(self._retire_time, head.complete)
-            self._retired_idx += 1
-            self._pending.popleft()
-            kind = "stores" if head.is_write else "loads"
-            self.stats.counter(f"{kind}_retired").add()
-            if not head.is_write:
-                self.stats.latency("load_to_use").record(
-                    head.complete - head.issued_at
-                )
-
-    # ------------------------------------------------------------------
-    # Fetch and issue
-    # ------------------------------------------------------------------
-    def _fetch_and_issue(self, now: int) -> None:
-        params = self.params
-        while True:
-            if self._mem_op is None and self._gap_remaining == 0:
-                if not self._pull_next_record():
-                    return
-            free = params.rob_size - self.rob_occupancy
-            if free <= 0:
-                if self._pending and self._pending[0].complete is None:
-                    return  # the read completion callback will wake us
-                # Pace-limited: retirement frees slots next cycle.  The
-                # retirement pass guarantees retire_time + 1 cycle > now,
-                # so this wake always lands strictly in the future.
-                self._schedule_wake(self._retire_time + CPU_CYCLE_TICKS)
-                return
-            if self._fetch_time > now:
-                self._schedule_wake(self._fetch_time)
-                return
-
-            if self._gap_remaining > 0:
-                n = min(self._gap_remaining, free)
-                self._instr_fetched += n
-                self._gap_remaining -= n
-                self._fetch_time = max(self._fetch_time, now) + \
-                    self._cycles_ticks(n, params.fetch_width)
-                continue
-
-            record = self._mem_op
-            if record is None:
-                continue
-            op = OpType.WRITE if record.is_write else OpType.READ
-            if not self.port.can_accept(op):
-                if not self._waiting_for_space:
-                    self._waiting_for_space = True
-                    self.port.notify_on_space(self._space_available)
-                return
-
-            entry = _PendingOp(self._instr_fetched, record.is_write,
-                               issued_at=max(self._fetch_time, now))
-            self._pending.append(entry)
-            self._instr_fetched += 1
-            self._fetch_time = max(self._fetch_time, now) + CPU_CYCLE_TICKS
-            self._mem_op = None
-
-            if record.is_write:
-                # Stores retire once accepted by the write queue.
-                entry.complete = entry.issued_at
-                self.port.issue(op, record.line_addr, self.app_id, None)
-                self.stats.counter("stores_issued").add()
-            else:
-                self.port.issue(
-                    op, record.line_addr, self.app_id,
-                    lambda t, e=entry: self._read_complete(e, t),
-                )
-                self.stats.counter("loads_issued").add()
-
-    def _pull_next_record(self) -> bool:
-        """Load the next trace record; False when the trace is drained."""
-        if self._trace_exhausted:
-            return False
-        try:
-            record = next(self._trace)
-        except StopIteration:
-            self._trace_exhausted = True
-            return False
-        self._gap_remaining = record.gap
-        self._mem_op = record
-        return True
 
     # ------------------------------------------------------------------
     # Callbacks
@@ -303,7 +410,7 @@ class Core:
         # Let the last paced instructions retire.
         if self._retired_idx < self._instr_fetched:
             gap = self._instr_fetched - self._retired_idx
-            self._retire_time += self._cycles_ticks(gap, self.params.retire_width)
+            self._retire_time += self._cycles_ticks(gap, self._retire_width)
             self._retired_idx = self._instr_fetched
         self.finished = True
         self.finish_time = max(self._retire_time, self.engine.now)

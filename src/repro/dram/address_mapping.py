@@ -87,6 +87,13 @@ class ChannelInterleaver:
         self.targets: List[Tuple[int, int]] = list(targets)
         self.geometry = geometry
         self.app_base_line = app_base_line
+        # Hot-path caches for map_line_tuple (one decode per issued
+        # request; the frozen-dataclass construction and property
+        # indirection were measurable there).
+        self._num_targets = len(self.targets)
+        self._lines_per_row = geometry.lines_per_row
+        self._num_banks = geometry.num_banks
+        self._num_rows = geometry.num_rows
 
     def map_line(self, line_index: int) -> LineAddress:
         """Stripe ``line_index`` across the allowed targets at line grain."""
@@ -96,6 +103,24 @@ class ChannelInterleaver:
         local = self.app_base_line + line_index // len(self.targets)
         bank, row, col = decode_line(local, self.geometry)
         return LineAddress(target[0], target[1], bank, row, col)
+
+    def map_line_tuple(self, line_index: int) -> Tuple[int, int, int, int, int]:
+        """:meth:`map_line` as a plain ``(channel, subchannel, bank, row,
+        col)`` tuple -- same decode, no per-request dataclass allocation."""
+        if line_index < 0:
+            raise ValueError("negative line index")
+        n = self._num_targets
+        channel, subchannel = self.targets[line_index % n]
+        local = self.app_base_line + line_index // n
+        col = local % self._lines_per_row
+        row_group = local // self._lines_per_row
+        return (
+            channel,
+            subchannel,
+            row_group % self._num_banks,
+            (row_group // self._num_banks) % self._num_rows,
+            col,
+        )
 
 
 def build_app_interleavers(

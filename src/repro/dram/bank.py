@@ -14,6 +14,11 @@ The model back-dates PRECHARGE/ACTIVATE preparation as early as the bank
 and rank constraints allow (but never before the request's arrival), which
 captures the command/data overlap a real FR-FCFS controller achieves
 without simulating individual command slots.
+
+Both classes carry ``__slots__`` and cache the JEDEC parameters they use
+as plain instance attributes: ``commit``/``_plan`` run once per serviced
+request, and the indirection through the timing dataclass was measurable
+there.
 """
 
 from __future__ import annotations
@@ -26,6 +31,29 @@ from repro.dram.timing import DDR3Timing
 
 class Bank:
     """One DRAM bank: open-row register plus timing bookkeeping."""
+
+    __slots__ = (
+        "timing",
+        "rank",
+        "open_row",
+        "_act_time",
+        "_pre_ready",
+        "_act_ready",
+        "hits",
+        "misses",
+        "conflicts",
+        "record_commands",
+        "last_commands",
+        "_tRCD",
+        "_tRP",
+        "_tRC",
+        "_tRAS",
+        "_tWR",
+        "_tRTP",
+        "_tCL",
+        "_tCWL",
+        "_tBURST",
+    )
 
     def __init__(self, timing: DDR3Timing, rank: "RankTimers") -> None:
         self.timing = timing
@@ -48,6 +76,16 @@ class Bank:
         #: the hot path.
         self.record_commands = False
         self.last_commands: list = []
+        # Hot-path timing caches (see module docstring).
+        self._tRCD = timing.tRCD
+        self._tRP = timing.tRP
+        self._tRC = timing.tRC
+        self._tRAS = timing.tRAS
+        self._tWR = timing.tWR
+        self._tRTP = timing.tRTP
+        self._tCL = timing.tCL
+        self._tCWL = timing.tCWL
+        self._tBURST = timing.tBURST
 
     # ------------------------------------------------------------------
     def classify(self, row: int) -> str:
@@ -73,48 +111,99 @@ class Bank:
         fences are computed from the *actual* burst time.  ``outcome`` is
         ``"hit"``, ``"closed"`` or ``"conflict"`` for row-buffer statistics.
         """
-        timing = self.timing
-        outcome = self.classify(req.row)
-        data_start, act_time, pre_time = self._plan(req, earliest)
-        data_start = max(data_start, floor)
+        # Fused copy of :meth:`_plan` plus the state advance -- this runs
+        # once per serviced request, and the separate call re-branched on
+        # the row classification computed here.
+        row = req.row
+        open_row = self.open_row
+        is_write = req.is_write
+        cas = self._tCWL if is_write else self._tCL
+        rank = self.rank
 
-        if outcome != "hit":
-            # A (possibly preceded-by-precharge) ACTIVATE happened.
-            self.rank.note_activate(act_time)
+        if open_row == row:  # hit (open_row is never None here)
+            outcome = "hit"
+            self.hits += 1
+            act_time = self._act_time
+            pre_time = None
+            col = act_time + self._tRCD
+            if col < earliest:
+                col = earliest
+            if not is_write:
+                ready = rank._last_write_end + rank._tWTR  # read_ready
+                if ready > col:
+                    col = ready
+            data_start = col + cas
+        else:
+            act_ready = self._act_ready
+            if open_row is not None:  # conflict: PRECHARGE first
+                outcome = "conflict"
+                self.conflicts += 1
+                pre_time = self._pre_ready
+                if pre_time < earliest:
+                    pre_time = earliest
+                act_lb = pre_time + self._tRP
+                if act_lb < act_ready:
+                    act_lb = act_ready
+            else:  # closed
+                outcome = "closed"
+                self.misses += 1
+                pre_time = None
+                act_lb = act_ready if act_ready > earliest else earliest
+            # Inline of rank.activate_slot / note_activate (tRRD + tFAW).
+            act_time = act_lb
+            acts = rank._acts
+            if acts:
+                fence = acts[-1] + rank._tRRD
+                if fence > act_time:
+                    act_time = fence
+                if len(acts) >= 4:
+                    fence = acts[-4] + rank._tFAW
+                    if fence > act_time:
+                        act_time = fence
+            col = act_time + self._tRCD
+            if not is_write:
+                ready = rank._last_write_end + rank._tWTR  # read_ready
+                if ready > col:
+                    col = ready
+            data_start = col + cas
+            # The ACTIVATE (possibly preceded by a PRECHARGE) happened.
+            acts.append(act_time)
+            if len(acts) > 4:
+                del acts[0]
             self._act_time = act_time
-            self._act_ready = act_time + timing.tRC
-            self.open_row = req.row
+            self._act_ready = act_time + self._tRC
+            self.open_row = row
 
-        col_time = data_start - (timing.tCWL if req.is_write else timing.tCL)
+        if data_start < floor:
+            data_start = floor
+        col_time = data_start - cas
         if self.record_commands:
             self.last_commands = []
             if pre_time is not None:
                 self.last_commands.append(("PRE", pre_time, None))
             if outcome != "hit":
-                self.last_commands.append(("ACT", act_time, req.row))
+                self.last_commands.append(("ACT", act_time, row))
             self.last_commands.append(
-                ("WR" if req.is_write else "RD", col_time, req.row)
+                ("WR" if is_write else "RD", col_time, row)
             )
-        if req.is_write:
+        if is_write:
             # Write recovery fences the next precharge after the data burst.
-            write_end = data_start + timing.tBURST
-            self._pre_ready = max(
-                self._pre_ready, write_end + timing.tWR,
-                self._act_time + timing.tRAS,
-            )
-            self.rank.note_write_end(write_end)
+            write_end = data_start + self._tBURST
+            pre_ready = write_end + self._tWR
+            act_fence = act_time + self._tRAS
+            if act_fence > pre_ready:
+                pre_ready = act_fence
+            if pre_ready > self._pre_ready:
+                self._pre_ready = pre_ready
+            if write_end > rank._last_write_end:  # note_write_end
+                rank._last_write_end = write_end
         else:
-            self._pre_ready = max(
-                self._pre_ready, col_time + timing.tRTP,
-                self._act_time + timing.tRAS,
-            )
-
-        if outcome == "hit":
-            self.hits += 1
-        elif outcome == "closed":
-            self.misses += 1
-        else:
-            self.conflicts += 1
+            pre_ready = col_time + self._tRTP
+            act_fence = act_time + self._tRAS
+            if act_fence > pre_ready:
+                pre_ready = act_fence
+            if pre_ready > self._pre_ready:
+                self._pre_ready = pre_ready
         return data_start, outcome
 
     def force_precharge(self, time: int) -> None:
@@ -129,7 +218,7 @@ class Bank:
         when recording is on."""
         pre_time = self._pre_ready
         self.open_row = None
-        self._act_ready = max(self._act_ready, pre_time + self.timing.tRP)
+        self._act_ready = max(self._act_ready, pre_time + self._tRP)
         if self.record_commands:
             self.last_commands.append(("PRE", pre_time, None))
         return pre_time
@@ -141,29 +230,40 @@ class Bank:
         """Compute ``(data_start, act_time, pre_time)`` without mutating
         state.  ``pre_time`` is ``None`` unless a row-buffer conflict
         forces a PRECHARGE first."""
-        timing = self.timing
-        cas = timing.tCWL if req.is_write else timing.tCL
-        outcome = self.classify(req.row)
+        is_write = req.is_write
+        cas = self._tCWL if is_write else self._tCL
+        open_row = self.open_row
 
-        if outcome == "hit":
+        if open_row == req.row:  # hit (open_row is never None here then)
             # Column command directly; tRCD already satisfied if the row
             # has been open long enough.
-            col = max(earliest, self._act_time + timing.tRCD)
-            if not req.is_write:
-                col = max(col, self.rank.read_ready(earliest))
+            col = self._act_time + self._tRCD
+            if col < earliest:
+                col = earliest
+            if not is_write:
+                ready = self.rank.read_ready(earliest)
+                if ready > col:
+                    col = ready
             return col + cas, self._act_time, None
 
-        if outcome == "conflict":
-            pre = max(earliest, self._pre_ready)
-            act_lb = pre + timing.tRP
+        act_ready = self._act_ready
+        if open_row is not None:  # conflict
+            pre = self._pre_ready
+            if pre < earliest:
+                pre = earliest
+            act_lb = pre + self._tRP
+            if act_lb < act_ready:
+                act_lb = act_ready
         else:  # closed
             pre = None
-            act_lb = max(earliest, self._act_ready)
+            act_lb = act_ready if act_ready > earliest else earliest
 
-        act = self.rank.activate_slot(max(act_lb, self._act_ready))
-        col = act + timing.tRCD
-        if not req.is_write:
-            col = max(col, self.rank.read_ready(earliest))
+        act = self.rank.activate_slot(act_lb)
+        col = act + self._tRCD
+        if not is_write:
+            ready = self.rank.read_ready(earliest)
+            if ready > col:
+                col = ready
         return col + cas, act, pre
 
 
@@ -174,6 +274,19 @@ class RankTimers:
     write-to-read (tWTR) fence, and the periodic refresh schedule.
     """
 
+    __slots__ = (
+        "timing",
+        "_acts",
+        "_last_write_end",
+        "_next_refresh",
+        "refreshes",
+        "_tRRD",
+        "_tFAW",
+        "_tWTR",
+        "_tREFI",
+        "_tRFC",
+    )
+
     def __init__(self, timing: DDR3Timing) -> None:
         self.timing = timing
         #: Ticks of the most recent activates (at most 4 kept).
@@ -181,22 +294,33 @@ class RankTimers:
         self._last_write_end = -(10**12)
         self._next_refresh = timing.tREFI
         self.refreshes = 0
+        self._tRRD = timing.tRRD
+        self._tFAW = timing.tFAW
+        self._tWTR = timing.tWTR
+        self._tREFI = timing.tREFI
+        self._tRFC = timing.tRFC
 
     # -- activates ------------------------------------------------------
     def activate_slot(self, lower_bound: int) -> int:
         """Earliest ACTIVATE at or after ``lower_bound`` honoring
         tRRD and tFAW.  Does not record the activate."""
         t = lower_bound
-        if self._acts:
-            t = max(t, self._acts[-1] + self.timing.tRRD)
-            if len(self._acts) >= 4:
-                t = max(t, self._acts[-4] + self.timing.tFAW)
+        acts = self._acts
+        if acts:
+            fence = acts[-1] + self._tRRD
+            if fence > t:
+                t = fence
+            if len(acts) >= 4:
+                fence = acts[-4] + self._tFAW
+                if fence > t:
+                    t = fence
         return t
 
     def note_activate(self, time: int) -> None:
-        self._acts.append(time)
-        if len(self._acts) > 4:
-            self._acts.pop(0)
+        acts = self._acts
+        acts.append(time)
+        if len(acts) > 4:
+            del acts[0]
 
     # -- write-to-read fence ---------------------------------------------
     def note_write_end(self, time: int) -> None:
@@ -205,7 +329,8 @@ class RankTimers:
 
     def read_ready(self, earliest: int) -> int:
         """Earliest a READ column command may issue (tWTR after writes)."""
-        return max(earliest, self._last_write_end + self.timing.tWTR)
+        fence = self._last_write_end + self._tWTR
+        return fence if fence > earliest else earliest
 
     # -- refresh ----------------------------------------------------------
     def refresh_window(self, time: int) -> Optional[Tuple[int, int]]:
@@ -215,9 +340,9 @@ class RankTimers:
         schedule after stalling for the window.
         """
         if time >= self._next_refresh:
-            return (self._next_refresh, self._next_refresh + self.timing.tRFC)
+            return (self._next_refresh, self._next_refresh + self._tRFC)
         return None
 
     def complete_refresh(self) -> None:
         self.refreshes += 1
-        self._next_refresh += self.timing.tREFI
+        self._next_refresh += self._tREFI

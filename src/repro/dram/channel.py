@@ -14,10 +14,23 @@ data burst, occupies the data bus for ``tBURST``, and fires the request's
 completion callback when the burst ends.  Bank preparation (PRE/ACT) is
 back-dated as early as JEDEC constraints allow, modeling the command/data
 overlap of a real pipelined controller.
+
+FR-FCFS indexing
+----------------
+Each queue keeps a per-bank ``{row: [requests...]}`` side index, maintained
+on enqueue/dequeue.  A pick then probes each bank's open row directly --
+the first-ready request is the minimum ``_enq_seq`` over the bucket heads
+-- instead of rescanning the queue window per service.  Queue position
+order equals ``_enq_seq`` order (appends are monotonic, removals preserve
+relative order), so the probe selects exactly the request the windowed
+:class:`FrFcfsScheduler` scan would; the scan remains the fallback for the
+two cases it doesn't cover (queue deeper than the scheduler window, and
+mixed-traffic slots where the share policy filters candidates first).
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Callable, Dict, List, Optional
 
 from repro.dram.bank import Bank, RankTimers
@@ -25,8 +38,11 @@ from repro.dram.commands import MemRequest, OpType, TrafficClass
 from repro.dram.scheduler import FrFcfsScheduler, SharePolicy, SingleClassPolicy
 from repro.dram.timing import ChannelParams, DDR3Timing, DDR3_1600, DEFAULT_CHANNEL_PARAMS
 from repro.obs.tracer import NULL_TRACER
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, _NO_ARG
 from repro.sim.stats import StatSet
+
+#: Larger than any real ``_enq_seq``; sentinel for the bucket-head probe.
+_NO_PICK = 1 << 62
 
 
 class Channel:
@@ -65,6 +81,14 @@ class Channel:
 
         self.read_q: List[MemRequest] = []
         self.write_q: List[MemRequest] = []
+        #: Per-bank ``{row: [requests]}`` side indexes (see module docstring).
+        self._rq_index: List[Dict[int, List[MemRequest]]] = [
+            {} for _ in range(params.num_banks)
+        ]
+        self._wq_index: List[Dict[int, List[MemRequest]]] = [
+            {} for _ in range(params.num_banks)
+        ]
+        self._enq_counter = 0
         self._draining = False
         self._bus_free = 0
         self._last_op: Optional[OpType] = None
@@ -73,17 +97,28 @@ class Channel:
 
         self.stats = StatSet(name)
         self._busy_ticks = 0
-        # Hot-path accelerators: pre-bound stat objects (avoids per-
-        # request f-string key construction) and per-queue secure-class
-        # counters (skips class scans when traffic is homogeneous).
-        self._lat_by_req = {}
+        # Hot-path accelerators: cached params/timing ints, pre-bound stat
+        # recorders (avoids per-request f-string keys and dict lookups),
+        # and per-queue secure-class counters (skips class scans when
+        # traffic is homogeneous).
+        self._rq_depth = params.read_queue_depth
+        self._wq_depth = params.write_queue_depth
+        self._window = params.scheduler_window
+        self._tBURST = timing.tBURST
+        self._tRTW = timing.tRTW
+        self._close_page = page_policy == "close"
+        #: Indexed ``2*is_write + is_secure`` -> (kind latency stat,
+        #: class latency stat, serviced counter) objects; ``_service``
+        #: updates their fields inline rather than paying two method
+        #: calls per serviced request.
+        self._lat_by_req = []
         for is_write, kind in ((False, "read"), (True, "write")):
             for traffic in (TrafficClass.NORMAL, TrafficClass.SECURE):
-                self._lat_by_req[(is_write, traffic)] = (
+                self._lat_by_req.append((
                     self.stats.latency(f"{kind}_latency"),
                     self.stats.latency(f"{traffic.value}_{kind}_latency"),
                     self.stats.counter(f"{kind}s_serviced"),
-                )
+                ))
         self._row_counters = {
             outcome: self.stats.counter(f"row_{outcome}")
             for outcome in ("hit", "closed", "conflict")
@@ -97,25 +132,51 @@ class Channel:
     def can_accept(self, op: OpType) -> bool:
         """Queue-space check; front ends must test before ``enqueue``."""
         if op is OpType.WRITE:
-            return len(self.write_q) < self.params.write_queue_depth
-        return len(self.read_q) < self.params.read_queue_depth
+            return len(self.write_q) < self._wq_depth
+        return len(self.read_q) < self._rq_depth
 
     def enqueue(self, req: MemRequest) -> None:
         """Accept a request.  Raises if the target queue is full."""
-        if not self.can_accept(req.op):
-            raise RuntimeError(f"{self.name}: {req.op.value} queue full")
-        if not 0 <= req.bank < len(self.banks):
-            raise ValueError(f"{self.name}: bank {req.bank} out of range")
+        bank = req.bank
+        if not 0 <= bank < len(self.banks):
+            raise ValueError(f"{self.name}: bank {bank} out of range")
         req.arrival = self.engine.now
+        seq = self._enq_counter
+        self._enq_counter = seq + 1
+        req._enq_seq = seq
         if req.is_write:
+            if len(self.write_q) >= self._wq_depth:
+                raise RuntimeError(f"{self.name}: write queue full")
             self.write_q.append(req)
+            index = self._wq_index[bank]
             if req.traffic is TrafficClass.SECURE:
                 self._wq_secure += 1
         else:
+            if len(self.read_q) >= self._rq_depth:
+                raise RuntimeError(f"{self.name}: read queue full")
             self.read_q.append(req)
+            index = self._rq_index[bank]
             if req.traffic is TrafficClass.SECURE:
                 self._rq_secure += 1
-        self._kick()
+        bucket = index.get(req.row)
+        if bucket is None:
+            index[req.row] = [req]
+        else:
+            bucket.append(req)
+        if not self._service_scheduled:
+            self._service_scheduled = True
+            # Inline of Engine.at: the kick time is clamped to >= now, so
+            # the past-schedule guard cannot fire.
+            engine = self.engine
+            bus_free = self._bus_free
+            now = engine.now
+            seq = engine._seq
+            engine._seq = seq + 1
+            heappush(
+                engine._queue,
+                (bus_free if bus_free > now else now, seq,
+                 self._service, _NO_ARG),
+            )
 
     def notify_on_space(self, callback: Callable[[], None]) -> None:
         """One-shot callback fired the next time any queue entry drains."""
@@ -147,14 +208,20 @@ class Channel:
 
     def _service(self) -> None:
         self._service_scheduled = False
-        if not (self.read_q or self.write_q):
+        read_q = self.read_q
+        write_q = self.write_q
+        if not (read_q or write_q):
             return
+        engine = self.engine
+        now = engine.now
 
         # Refresh first: if the refresh deadline has passed, stall the rank
-        # for tRFC with every bank precharged.
-        window = self.rank.refresh_window(self.engine.now)
-        if window is not None:
-            start, end = window
+        # for tRFC with every bank precharged.  The deadline is read
+        # directly (one compare on the not-due path, which is every
+        # service but one in ~7.8 us).
+        rank = self.rank
+        if now >= rank._next_refresh:
+            start, end = rank.refresh_window(now)
             for bank in self.banks:
                 bank.force_precharge(end)
             if self.command_log is not None:
@@ -171,18 +238,73 @@ class Channel:
                     "dram", "refresh", self.name, start, end - start
                 )
             self._service_scheduled = True
-            self.engine.at(max(self.engine.now, self._bus_free), self._service)
+            seq = engine._seq
+            engine._seq = seq + 1
+            heappush(
+                engine._queue,
+                (max(now, self._bus_free), seq, self._service, _NO_ARG),
+            )
             return
 
-        queue = self._select_queue()
-        req = self._pick_request(queue)
+        # Inline of _select_queue (write-drain hysteresis + age bound).
+        params = self.params
+        wq_len = len(write_q)
+        draining = self._draining
+        if draining and wq_len <= params.write_drain_lo:
+            draining = self._draining = False
+        if not draining and wq_len >= params.write_drain_hi:
+            draining = self._draining = True
+        if not draining and wq_len and (
+            now - write_q[0].arrival >= params.write_timeout
+        ):
+            draining = self._draining = True
+        if draining and wq_len:
+            queue = write_q
+        elif read_q:
+            queue = read_q
+        else:
+            queue = write_q
+
+        # Single-class common-case picks, inlined from _pick_request:
+        # depth-1 pop and head row-hit cover most services, and neither
+        # can emit a reorder event (index 0 picks never do).
+        is_write_q = queue is write_q
+        secure_count = self._wq_secure if is_write_q else self._rq_secure
+        qlen = len(queue)
+        if not 0 < secure_count < qlen:
+            if qlen == 1:
+                req = queue.pop()
+            elif self.banks[(r0 := queue[0]).bank].open_row == r0.row:
+                req = r0
+                del queue[0]
+            else:
+                req = None
+            if req is not None:
+                indexes = self._wq_index if is_write_q else self._rq_index
+                index = indexes[req.bank]
+                bucket = index[req.row]
+                if len(bucket) == 1:
+                    del index[req.row]
+                else:
+                    bucket.remove(req)
+                if req.traffic is TrafficClass.SECURE:
+                    if is_write_q:
+                        self._wq_secure -= 1
+                    else:
+                        self._rq_secure -= 1
+            else:
+                req = self._pick_request(queue)
+        else:
+            req = self._pick_request(queue)
 
         bank = self.banks[req.bank]
-        floor = max(self._bus_free, self.engine.now)
-        if self._last_op is OpType.READ and req.is_write:
-            floor += self.timing.tRTW
+        bus_free = self._bus_free
+        floor = bus_free if bus_free > now else now
+        is_write = req.is_write
+        if is_write and self._last_op is OpType.READ:
+            floor += self._tRTW
         data_start, outcome = bank.commit(req, req.arrival, floor=floor)
-        if self.page_policy == "close":
+        if self._close_page:
             bank.close_after_access()
         if self.command_log is not None:
             from repro.dram.compliance import DramCommand
@@ -191,98 +313,234 @@ class Channel:
                 DramCommand(t, kind, req.bank, row)
                 for kind, t, row in bank.last_commands
             )
-        finish = data_start + self.timing.tBURST
+        tburst = self._tBURST
+        finish = data_start + tburst
 
         self._bus_free = finish
         self._last_op = req.op
-        self._busy_ticks += self.timing.tBURST
+        self._busy_ticks += tburst
 
-        self._record(req, outcome, finish)
+        latency = finish - req.arrival
+        secure = req.traffic is TrafficClass.SECURE
+        lat_kind, lat_cls, served = self._lat_by_req[
+            (2 if is_write else 0) + (1 if secure else 0)
+        ]
+        # Inline of LatencyStat.record (x2) and Counter.add (x2): these
+        # four updates run for every serviced request, and the call
+        # overhead alone was measurable.  Latency is positive by
+        # construction (finish > arrival), so the negative-value guard
+        # is unnecessary here.
+        lat_kind.count += 1
+        lat_kind.total += latency
+        bound = lat_kind.min
+        if bound is None or latency < bound:
+            lat_kind.min = latency
+        bound = lat_kind.max
+        if bound is None or latency > bound:
+            lat_kind.max = latency
+        lat_cls.count += 1
+        lat_cls.total += latency
+        bound = lat_cls.min
+        if bound is None or latency < bound:
+            lat_cls.min = latency
+        bound = lat_cls.max
+        if bound is None or latency > bound:
+            lat_cls.max = latency
+        self._row_counters[outcome].value += 1
+        served.value += 1
         if self._tracer.enabled:
             self._tracer.complete(
-                "dram", "write" if req.is_write else "read", self.name,
-                data_start, self.timing.tBURST,
+                "dram", "write" if is_write else "read", self.name,
+                data_start, tburst,
                 {
                     "bank": req.bank,
                     "row": req.row,
                     "outcome": outcome,
                     "app": req.app_id,
                     "cls": req.traffic.value,
-                    "lat": finish - req.arrival,
+                    "lat": latency,
                 },
             )
-        if req.on_complete is not None:
-            self.engine.at(finish, lambda r=req, t=finish: r.on_complete(t))
+        # Inline of Engine.call_at / Engine.at: both times are >= now by
+        # construction (data_start is floored at now, finish is later
+        # still), so the past-schedule guards cannot fire.
+        on_complete = req.on_complete
+        if on_complete is not None:
+            seq = engine._seq
+            engine._seq = seq + 1
+            heappush(engine._queue, (finish, seq, on_complete, finish))
 
-        self._wake_space_waiters()
+        if self._space_waiters:
+            self._wake_space_waiters()
         # Decide the next request when the bus frees so bursts can chain
         # back-to-back.
-        if self.read_q or self.write_q:
+        if read_q or write_q:
             self._service_scheduled = True
-            self.engine.at(data_start, self._service)
+            seq = engine._seq
+            engine._seq = seq + 1
+            heappush(engine._queue, (data_start, seq, self._service, _NO_ARG))
 
     def _select_queue(self) -> List[MemRequest]:
         """Write-drain hysteresis + age bound, else reads, else writes."""
-        wq_len = len(self.write_q)
-        if self._draining and wq_len <= self.params.write_drain_lo:
-            self._draining = False
-        if not self._draining and wq_len >= self.params.write_drain_hi:
-            self._draining = True
-        if not self._draining and self.write_q:
+        write_q = self.write_q
+        wq_len = len(write_q)
+        draining = self._draining
+        if draining and wq_len <= self.params.write_drain_lo:
+            draining = self._draining = False
+        if not draining and wq_len >= self.params.write_drain_hi:
+            draining = self._draining = True
+        if not draining and wq_len:
             # Starvation bound: a sufficiently old write forces service
             # even below the high watermark (bounded write latency, as in
-            # real controllers).
-            oldest = min(req.arrival for req in self.write_q)
-            if self.engine.now - oldest >= self.params.write_timeout:
-                self._draining = True
-        if self._draining and self.write_q:
-            return self.write_q
+            # real controllers).  FIFO append order makes the queue head
+            # the oldest write.
+            if self.engine.now - write_q[0].arrival >= self.params.write_timeout:
+                draining = self._draining = True
+        if draining and wq_len:
+            return write_q
         if self.read_q:
             return self.read_q
-        return self.write_q
+        return write_q
 
     def _pick_request(self, queue: List[MemRequest]) -> MemRequest:
         """Arbitrate traffic classes, then FR-FCFS within the class."""
-        secure_count = (
-            self._wq_secure if queue is self.write_q else self._rq_secure
-        )
-        if 0 < secure_count < len(queue):
-            # Mixed traffic: the share policy decides the class.
-            classes = []
-            seen = set()
-            for req in queue:
-                if req.traffic not in seen:
-                    seen.add(req.traffic)
-                    classes.append(req.traffic)
+        is_write_q = queue is self.write_q
+        secure_count = self._wq_secure if is_write_q else self._rq_secure
+        indexes = self._wq_index if is_write_q else self._rq_index
+        qlen = len(queue)
+        if 0 < secure_count < qlen:
+            # Mixed traffic: the share policy decides the class, then the
+            # windowed scan picks within the filtered candidates (the side
+            # index spans both classes, so it does not apply here).  Both
+            # classes are present by the count check, so the
+            # first-appearance-ordered class list only depends on the
+            # queue head's class.
+            if queue[0].traffic is TrafficClass.SECURE:
+                classes = [TrafficClass.SECURE, TrafficClass.NORMAL]
+            else:
+                classes = [TrafficClass.NORMAL, TrafficClass.SECURE]
             chosen_cls = self.share_policy.pick_class(classes)
             if self._tracer.enabled:
                 self._tracer.instant(
                     "dram", "class_pick", self.name, self.engine.now,
                     {"cls": chosen_cls.value, "contenders": len(classes)},
                 )
-            candidates = [r for r in queue if r.traffic is chosen_cls]
+                candidates = [r for r in queue if r.traffic is chosen_cls]
+                req = candidates[self._scan_pick(candidates)]
+            else:
+                # Tracing off: no reorder event can be emitted, so scan
+                # the queue directly for the first in-class row hit
+                # within the window instead of materializing the
+                # candidate list (same decision as _scan_pick over it).
+                banks = self.banks
+                window = self._window
+                first = None
+                req = None
+                examined = 0
+                for r in queue:
+                    if r.traffic is chosen_cls:
+                        if banks[r.bank].open_row == r.row:
+                            req = r
+                            break
+                        if first is None:
+                            first = r
+                        examined += 1
+                        if examined >= window:
+                            break
+                if req is None:
+                    req = first
+            queue.remove(req)
+        elif qlen == 1:
+            # Depth-1 early-out: any scan returns index 0 and never
+            # emits a reorder event.
+            req = queue.pop()
+        elif self.banks[(r0 := queue[0]).bank].open_row == r0.row:
+            # Head row-hit early-out: the scan's first probe is index 0,
+            # and in the indexed probe the head holds the global minimum
+            # _enq_seq, so both pick it; index 0 never emits a reorder.
+            req = r0
+            del queue[0]
+        elif qlen <= self._window:
+            # Indexed first-ready probe: the whole queue is inside the
+            # scan window, so the minimum-_enq_seq open-row bucket head
+            # is exactly the scan's first hit (queue position order ==
+            # _enq_seq order); no hit -> oldest (queue head).
+            req = None
+            best_seq = _NO_PICK
+            for bank_idx, bank in enumerate(self.banks):
+                row = bank.open_row
+                if row is not None:
+                    bucket = indexes[bank_idx].get(row)
+                    if bucket:
+                        head = bucket[0]
+                        if head._enq_seq < best_seq:
+                            best_seq = head._enq_seq
+                            req = head
+            if req is None:
+                req = queue[0]
+                del queue[0]
+            elif self._tracer.enabled:
+                i = queue.index(req)
+                if i:
+                    self._tracer.instant(
+                        "dram", "frfcfs_reorder", self.name,
+                        self.engine.now,
+                        {"index": i, "bank": req.bank, "depth": qlen},
+                    )
+                del queue[i]
+            else:
+                queue.remove(req)
         else:
-            candidates = queue
-        idx_in_candidates = self.scheduler.pick(candidates, self.banks)
-        req = candidates[idx_in_candidates]
-        queue.remove(req)
+            # Queue deeper than the scan window: the bounded scan may
+            # legitimately miss a hit the full index would see, so defer
+            # to it for bit-identical decisions.
+            req = queue[self._scan_pick(queue)]
+            queue.remove(req)
+
+        index = indexes[req.bank]
+        bucket = index[req.row]
+        if len(bucket) == 1:
+            del index[req.row]
+        else:
+            bucket.remove(req)
         if req.traffic is TrafficClass.SECURE:
-            if queue is self.write_q:
+            if is_write_q:
                 self._wq_secure -= 1
             else:
                 self._rq_secure -= 1
         return req
 
+    def _scan_pick(self, queue: List[MemRequest]) -> int:
+        """Inlined :meth:`FrFcfsScheduler.pick` (same decisions and trace
+        events, minus the per-entry ``classify`` call)."""
+        banks = self.banks
+        qlen = len(queue)
+        limit = qlen if qlen < self._window else self._window
+        for i in range(limit):
+            r = queue[i]
+            if banks[r.bank].open_row == r.row:
+                if i and self._tracer.enabled:
+                    self._tracer.instant(
+                        "dram", "frfcfs_reorder", self.name,
+                        self.engine.now,
+                        {"index": i, "bank": r.bank, "depth": qlen},
+                    )
+                return i
+        return 0
+
     # ------------------------------------------------------------------
     def _record(self, req: MemRequest, outcome: str, finish: int) -> None:
+        """Record service statistics (kept for subclass/analysis use; the
+        service loop inlines the same sequence)."""
         latency = finish - req.arrival
-        lat_kind, lat_class, counter = self._lat_by_req[
-            (req.is_write, req.traffic)
+        lat_kind, lat_cls, served = self._lat_by_req[
+            (2 if req.is_write else 0)
+            + (1 if req.traffic is TrafficClass.SECURE else 0)
         ]
         lat_kind.record(latency)
-        lat_class.record(latency)
-        self._row_counters[outcome].add()
-        counter.add()
+        lat_cls.record(latency)
+        self._row_counters[outcome].value += 1
+        served.value += 1
 
     def _wake_space_waiters(self) -> None:
         if not self._space_waiters:

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 
@@ -14,6 +13,11 @@ class OpType(enum.Enum):
     READ = "read"
     WRITE = "write"
 
+    # Enum equality is member identity, so the identity hash is consistent
+    # -- and C-speed, where ``Enum.__hash__`` is a Python-level call that
+    # shows up in profiles under every enum-keyed dict operation.
+    __hash__ = object.__hash__
+
 
 #: Traffic-class tag for scheduler share policies: the ORAM engine's
 #: requests are ``SECURE``, everything else is ``NORMAL``.
@@ -21,11 +25,12 @@ class TrafficClass(enum.Enum):
     NORMAL = "normal"
     SECURE = "secure"
 
+    __hash__ = object.__hash__
+
 
 _request_ids = itertools.count()
 
 
-@dataclass
 class MemRequest:
     """One cache-line access, already decoded to device coordinates.
 
@@ -33,28 +38,64 @@ class MemRequest:
     coordinates via the address-mapping layer, enqueues the request at a
     :class:`~repro.dram.channel.Channel`, and receives ``on_complete`` when
     the data burst finishes.
+
+    A ``__slots__`` class (not a dataclass): requests are the single most
+    allocated object on the simulation hot path, and ``is_write`` is
+    precomputed at construction so the channel/bank fast paths read a
+    plain attribute instead of testing ``op`` per use.  Identity (not
+    field) equality -- two distinct requests are never "the same".
     """
 
-    op: OpType
-    channel: int
-    subchannel: int
-    bank: int
-    row: int
-    #: Line offset within the row (column group); kept for address
-    #: round-tripping and debug, not used by the timing model.
-    col: int = 0
-    #: Originating application id; -1 marks engine-internal traffic.
-    app_id: int = -1
-    traffic: TrafficClass = TrafficClass.NORMAL
-    #: Set by the channel when the request is accepted.
-    arrival: int = 0
-    #: Completion callback, invoked with the finish tick.
-    on_complete: Optional[Callable[[int], None]] = None
-    req_id: int = field(default_factory=lambda: next(_request_ids))
+    __slots__ = (
+        "op",
+        "channel",
+        "subchannel",
+        "bank",
+        "row",
+        "col",
+        "app_id",
+        "traffic",
+        "arrival",
+        "on_complete",
+        "req_id",
+        "is_write",
+        "_enq_seq",
+    )
 
-    @property
-    def is_write(self) -> bool:
-        return self.op is OpType.WRITE
+    def __init__(
+        self,
+        op: OpType,
+        channel: int,
+        subchannel: int,
+        bank: int,
+        row: int,
+        col: int = 0,
+        app_id: int = -1,
+        traffic: TrafficClass = TrafficClass.NORMAL,
+        arrival: int = 0,
+        on_complete: Optional[Callable[[int], None]] = None,
+        req_id: Optional[int] = None,
+    ) -> None:
+        self.op = op
+        self.channel = channel
+        self.subchannel = subchannel
+        self.bank = bank
+        self.row = row
+        #: Line offset within the row (column group); kept for address
+        #: round-tripping and debug, not used by the timing model.
+        self.col = col
+        #: Originating application id; -1 marks engine-internal traffic.
+        self.app_id = app_id
+        self.traffic = traffic
+        #: Set by the channel when the request is accepted.
+        self.arrival = arrival
+        #: Completion callback, invoked with the finish tick.
+        self.on_complete = on_complete
+        self.req_id = next(_request_ids) if req_id is None else req_id
+        self.is_write = op is OpType.WRITE
+        #: Channel-local FIFO sequence, assigned at enqueue (used by the
+        #: indexed FR-FCFS pick to order row hits across banks).
+        self._enq_seq = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

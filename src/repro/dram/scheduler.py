@@ -101,6 +101,21 @@ class SharePolicy:
 
     def pick_class(self, pending: Sequence[TrafficClass]) -> TrafficClass:
         """Choose which class to serve among classes with queued requests."""
+        if len(pending) == 2:
+            # The hot shape (secure + normal contending): same arithmetic
+            # as the generic path below, without the key-function sort.
+            a, b = pending
+            if a in self.weights and b in self.weights:
+                credit = self._credit
+                share = self._share
+                ca = min(credit[a] + share[a], 2.0)
+                cb = min(credit[b] + share[b], 2.0)
+                credit[a] = ca
+                credit[b] = cb
+                best = a if ca >= cb else b  # tie -> earlier in pending
+                credit[best] = max(credit[best] - 1.0, -2.0)
+                self.served[best] += 1
+                return best
         candidates = [cls for cls in pending if cls in self.weights]
         if not candidates:
             # Unconfigured classes fall through in arrival order.

@@ -181,26 +181,38 @@ class OramController:
         # the memory system accepts it (queue back-pressure still paces
         # the engine), matching how [32]/[39] stream the write-back.
         on_done = self._block_done if reading else _ignore_completion
-        i = 0
-        while i < len(self._pending):
-            placement = self._pending[i]
-            if self.sink.try_issue(placement, op, on_done):
-                self._pending.pop(i)
-                if reading:
-                    self._outstanding += 1
+        # Collect the stalled placements into a fresh list (order kept)
+        # instead of popping mid-list; try_issue never re-enters _pump
+        # synchronously, so iterating the old list is safe.
+        sink = self.sink
+        stalled = []
+        outstanding = 0
+        for placement in self._pending:
+            if sink.try_issue(placement, op, on_done):
+                outstanding += 1
             else:
-                i += 1
+                stalled.append(placement)
+        self._pending = stalled
+        if reading and outstanding:
+            self._outstanding += outstanding
         if self._pending and not self._waiting_for_space:
             self._waiting_for_space = True
             self.sink.notify_on_space(self._pump)
         self._maybe_finish()
 
     def _block_done(self, _time: int) -> None:
-        self._outstanding -= 1
-        if self._pending and not self._waiting_for_space:
-            # Capacity likely freed somewhere; retry stalled placements.
-            self._pump()
-        else:
+        # Runs once per read-phase block; the common case (more blocks
+        # still in flight) must fall through with minimal work.
+        outstanding = self._outstanding - 1
+        self._outstanding = outstanding
+        if self._pending:
+            if not self._waiting_for_space:
+                # Capacity likely freed somewhere; retry stalled placements.
+                self._pump()
+            # else: the space callback will re-pump; _maybe_finish would
+            # bail on the non-empty pending list anyway.
+            return
+        if outstanding == 0:
             self._maybe_finish()
 
     def _maybe_finish(self) -> None:

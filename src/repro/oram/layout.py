@@ -22,7 +22,6 @@ never materialized.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.dram.address_mapping import DeviceGeometry, decode_line
@@ -30,20 +29,49 @@ from repro.oram.config import OramConfig
 from repro.oram.tree import TreeGeometry
 
 
-@dataclass(frozen=True)
 class BlockPlacement:
-    """Where one (bucket, slot) block lives, plus routing information."""
+    """Where one (bucket, slot) block lives, plus routing information.
 
-    bucket: int
-    slot: int
-    channel: int
-    subchannel: int
-    bank: int
-    row: int
-    col: int
-    #: True when the block sits on a normal channel and must be reached
-    #: with explicit cross-channel messages (Section III-C).
-    remote: bool
+    ``remote`` is True when the block sits on a normal channel and must
+    be reached with explicit cross-channel messages (Section III-C).
+
+    A plain ``__slots__`` class rather than a frozen dataclass: one
+    placement is built per non-cached path block, and the per-field
+    ``object.__setattr__`` of a frozen dataclass made construction the
+    hottest allocation in the whole-system profile.  Treat instances as
+    immutable.
+    """
+
+    __slots__ = (
+        "bucket", "slot", "channel", "subchannel", "bank", "row", "col",
+        "remote",
+    )
+
+    def __init__(self, bucket: int, slot: int, channel: int,
+                 subchannel: int, bank: int, row: int, col: int,
+                 remote: bool) -> None:
+        self.bucket = bucket
+        self.slot = slot
+        self.channel = channel
+        self.subchannel = subchannel
+        self.bank = bank
+        self.row = row
+        self.col = col
+        self.remote = remote
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BlockPlacement(bucket={self.bucket}, slot={self.slot}, "
+            f"channel={self.channel}, subchannel={self.subchannel}, "
+            f"bank={self.bank}, row={self.row}, col={self.col}, "
+            f"remote={self.remote})"
+        )
+
+
+#: Upper bound on memoized placements per layout (dominated by the hot
+#: root levels; ~100 B per entry keeps the worst case around 25 MB).
+_PLACE_CACHE_LIMIT = 1 << 18
+_PLACE_MISS = object()
 
 
 class OramLayout:
@@ -97,6 +125,14 @@ class OramLayout:
         self._segment_offsets = self._build_segments()
         # Per-remote-level line-base offsets.
         self._remote_level_bases = self._build_remote_bases()
+        self._place_cache: dict = {}
+        # Hot-path caches: placement construction runs per path block and
+        # chased these through two dataclasses before.
+        self._bucket_size = config.bucket_size
+        self._treetop_levels = config.treetop_levels
+        self._lines_per_row = geometry.lines_per_row
+        self._num_banks = geometry.num_banks
+        self._num_rows = geometry.num_rows
 
     # ------------------------------------------------------------------
     # Subtree packing of home levels
@@ -189,26 +225,55 @@ class OramLayout:
 
     def place(self, bucket: int, slot: int) -> Optional[BlockPlacement]:
         """Placement of one block; ``None`` for tree-top-cached buckets."""
-        if not 0 <= slot < self.config.bucket_size:
+        if not 0 <= slot < self._bucket_size:
             raise ValueError(f"slot {slot} out of range")
+        # The mapping is a pure function of (bucket, slot) and placements
+        # are treated as immutable, so memoize: every access recomputes
+        # the same root levels.  The cache is bounded so a huge tree
+        # cannot exhaust memory; once full, cold (deep) buckets are
+        # computed fresh.
+        key = bucket * self._bucket_size + slot
+        cache = self._place_cache
+        placement = cache.get(key, _PLACE_MISS)
+        if placement is not _PLACE_MISS:
+            return placement
         level = self.tree.level_of(bucket)
-        if level < self.config.treetop_levels:
-            return None
-        if level < self.home_levels:
-            return self._place_home(bucket, slot)
-        return self._place_remote(bucket, slot, level)
+        if level < self._treetop_levels:
+            placement = None
+        elif level < self.home_levels:
+            placement = self._place_home(bucket, slot, level)
+        else:
+            placement = self._place_remote(bucket, slot, level)
+        if len(cache) < _PLACE_CACHE_LIMIT:
+            cache[key] = placement
+        return placement
 
-    def _place_home(self, bucket: int, slot: int) -> BlockPlacement:
-        target = self.home_targets[slot % len(self.home_targets)]
-        within = slot // len(self.home_targets)
-        line = (
-            self.base_line
-            + self.packed_index(bucket) * self._blocks_per_target
-            + within
+    def _place_home(self, bucket: int, slot: int, level: int) -> BlockPlacement:
+        targets = self.home_targets
+        n = len(targets)
+        target = targets[slot % n]
+        # Inline of :meth:`packed_index` (the level is already known) and
+        # of :func:`decode_line` (the line index is positive by
+        # construction: ``base_line`` sits above the NS-App slices).
+        top, height, seg_offset = self._segment_of(level)
+        depth = level - top
+        subtree_root = bucket >> depth
+        packed = (
+            seg_offset
+            + (subtree_root - (1 << top)) * ((1 << height) - 1)
+            + (1 << depth) - 1
+            + (bucket - (subtree_root << depth))
         )
-        bank, row, col = decode_line(line, self.device)
+        line = self.base_line + packed * self._blocks_per_target + slot // n
+        lines_per_row = self._lines_per_row
+        col = line % lines_per_row
+        row_group = line // lines_per_row
+        num_banks = self._num_banks
         return BlockPlacement(
-            bucket, slot, target[0], target[1], bank, row, col, remote=False
+            bucket, slot, target[0], target[1],
+            row_group % num_banks,
+            (row_group // num_banks) % self._num_rows,
+            col, False,
         )
 
     def _place_remote(self, bucket: int, slot: int, level: int) -> BlockPlacement:
@@ -224,7 +289,7 @@ class OramLayout:
             line = slot_base + index_in_level
         bank, row, col = decode_line(line, self.device)
         return BlockPlacement(
-            bucket, slot, target[0], target[1], bank, row, col, remote=True
+            bucket, slot, target[0], target[1], bank, row, col, True
         )
 
     # ------------------------------------------------------------------

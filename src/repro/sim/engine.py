@@ -1,9 +1,17 @@
 """Deterministic discrete-event engine.
 
-The engine keeps a priority queue of ``(time, sequence, callback)`` entries.
-Events scheduled for the same tick fire in scheduling order (FIFO), which
-makes whole-system runs bit-for-bit reproducible regardless of dict ordering
-or hash seeds.
+The engine keeps a priority queue of ``(time, sequence, callback, arg)``
+entries.  Events scheduled for the same tick fire in scheduling order
+(FIFO), which makes whole-system runs bit-for-bit reproducible regardless
+of dict ordering or hash seeds.
+
+Scheduling forms
+----------------
+:meth:`Engine.at` / :meth:`Engine.after` schedule a no-argument callback;
+:meth:`Engine.call_at` / :meth:`Engine.call_after` schedule ``callback(arg)``
+so hot callers (DRAM completion, link delivery) don't have to allocate a
+closure per request just to carry one value.  Every scheduling call
+returns a handle accepted by :meth:`Engine.cancel`.
 
 Time units
 ----------
@@ -16,7 +24,7 @@ into ticks.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Callable, List, Optional, Tuple
 
 #: Number of engine ticks per nanosecond.  16 makes both the CPU clock
@@ -60,8 +68,19 @@ class _NullDispatchTracer:
 
 _NULL_DISPATCH_TRACER = _NullDispatchTracer()
 
+#: Sentinel ``arg`` marking a no-argument callback (``at``/``after`` form).
+_NO_ARG = object()
 
-def _callback_label(callback: Callable[[], None]) -> str:
+#: Dispatch budget stand-in for "no ``max_events`` bound".
+_NO_LIMIT = 1 << 62
+
+#: A scheduled-event handle: the immutable ``(time, seq, callback, arg)``
+#: heap entry.  ``seq`` is unique per engine, so heap comparison never
+#: reaches the callback, and cancellation tombstones the entry by seq.
+EventHandle = Tuple[int, int, Callable, object]
+
+
+def _callback_label(callback: Callable[..., None]) -> str:
     """Deterministic short label for a scheduled callback (no ids/reprs)."""
     name = getattr(callback, "__qualname__", None)
     if name is None:
@@ -74,15 +93,16 @@ class Engine:
     """A minimal, deterministic discrete-event scheduler.
 
     Components schedule callbacks with :meth:`at` (absolute time) or
-    :meth:`after` (relative delay) and the engine dispatches them in
-    ``(time, scheduling order)`` order.  A callback may schedule further
-    events, including at the current time.
+    :meth:`after` (relative delay) -- or the allocation-free
+    :meth:`call_at` / :meth:`call_after` ``(callback, arg)`` forms -- and
+    the engine dispatches them in ``(time, scheduling order)`` order.  A
+    callback may schedule further events, including at the current time.
 
     Example
     -------
     >>> eng = Engine()
     >>> fired = []
-    >>> eng.after(10, lambda: fired.append(eng.now))
+    >>> _ = eng.after(10, lambda: fired.append(eng.now))
     >>> eng.run()
     >>> fired
     [10]
@@ -93,9 +113,13 @@ class Engine:
         per-dispatch events under the ``engine`` category; dispatch
         tracing is opt-in because it emits one event per callback."""
         self.now: int = 0
-        self._queue: List[Tuple[int, int, Callable[[], None]]] = []
+        self._queue: List[EventHandle] = []
         self._seq = 0
         self._events_dispatched = 0
+        #: Seqs of cancelled-but-not-yet-popped entries.  The dispatch
+        #: loop guards on the set's truthiness, so the no-cancellation
+        #: hot path pays a single local check per event.
+        self._cancelled_seqs = set()
         self._stopped = False
         self._tracer = (
             tracer.category("engine") if tracer is not None
@@ -105,43 +129,103 @@ class Engine:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def at(self, time: int, callback: Callable[[], None]) -> None:
+    def at(self, time: int, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at absolute tick ``time``.
 
         Scheduling in the past is an error: it would silently reorder
-        causality, the classic discrete-event bug.
+        causality, the classic discrete-event bug.  Returns a handle for
+        :meth:`cancel`.
         """
         if time < self.now:
             raise ValueError(
                 f"cannot schedule event at {time} < now {self.now}"
             )
-        heapq.heappush(self._queue, (time, self._seq, callback))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        entry = (time, seq, callback, _NO_ARG)
+        heappush(self._queue, entry)
+        return entry
 
-    def after(self, delay: int, callback: Callable[[], None]) -> None:
+    def after(self, delay: int, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` ``delay`` ticks from now (``delay >= 0``)."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        self.at(self.now + delay, callback)
+        seq = self._seq
+        self._seq = seq + 1
+        entry = (self.now + delay, seq, callback, _NO_ARG)
+        heappush(self._queue, entry)
+        return entry
+
+    def call_at(
+        self, time: int, callback: Callable[[object], None], arg
+    ) -> EventHandle:
+        """Schedule ``callback(arg)`` at absolute tick ``time``.
+
+        The hot-path form: carries one value without a per-event closure.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule event at {time} < now {self.now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        entry = (time, seq, callback, arg)
+        heappush(self._queue, entry)
+        return entry
+
+    def call_after(
+        self, delay: int, callback: Callable[[object], None], arg
+    ) -> EventHandle:
+        """Schedule ``callback(arg)`` ``delay`` ticks from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        seq = self._seq
+        self._seq = seq + 1
+        entry = (self.now + delay, seq, callback, arg)
+        heappush(self._queue, entry)
+        return entry
+
+    def cancel(self, handle: EventHandle) -> bool:
+        """Cancel a scheduled event.
+
+        Returns ``True`` if the event was still pending (it will never
+        fire and does not count as a dispatch), ``False`` if it already
+        dispatched or was cancelled before.  Cancellation tombstones the
+        entry by sequence number; the entry itself stays in the heap
+        until it surfaces, so cancel costs one membership scan and no
+        heap restructuring.
+        """
+        if handle[1] in self._cancelled_seqs or handle not in self._queue:
+            return False
+        self._cancelled_seqs.add(handle[1])
+        return True
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Dispatch the next event.  Returns ``False`` when queue is empty."""
-        if not self._queue:
-            return False
-        time, seq, callback = heapq.heappop(self._queue)
-        self.now = time
-        self._events_dispatched += 1
-        tracer = self._tracer
-        if tracer.enabled:
-            tracer.instant(
-                "engine", "dispatch", "engine", time,
-                {"seq": seq, "fn": _callback_label(callback)},
-            )
-        callback()
-        return True
+        queue = self._queue
+        cancelled = self._cancelled_seqs
+        while queue:
+            time, seq, callback, arg = heappop(queue)
+            if cancelled and seq in cancelled:
+                cancelled.remove(seq)
+                continue
+            self.now = time
+            self._events_dispatched += 1
+            tracer = self._tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "engine", "dispatch", "engine", time,
+                    {"seq": seq, "fn": _callback_label(callback)},
+                )
+            if arg is _NO_ARG:
+                callback()
+            else:
+                callback(arg)
+            return True
+        return False
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
         """Run until the queue drains, ``until`` ticks pass, or ``stop()``.
@@ -150,25 +234,98 @@ class Engine:
         ----------
         until:
             Absolute tick bound; events strictly after it stay queued and
-            ``now`` is advanced to ``until``.
+            ``now`` is advanced to ``until`` -- unless :meth:`stop` fired,
+            in which case time freezes at the stop point.
         max_events:
-            Safety valve for tests; raises ``RuntimeError`` when exceeded
-            so an accidental event livelock fails loudly instead of hanging.
+            Safety valve for tests; dispatching is capped at exactly
+            ``max_events`` events and a ``RuntimeError`` is raised when
+            more remain, so an accidental event livelock fails loudly
+            instead of hanging.
         """
         self._stopped = False
-        dispatched = 0
-        while self._queue and not self._stopped:
-            if until is not None and self._queue[0][0] > until:
+        # The dispatch loop binds everything it touches every iteration
+        # to locals (heap, heappop, tracer guard, dispatch budget) and
+        # drains each tick as a same-tick batch, so the `until` bound and
+        # `self.now` are only touched when time advances.  The running
+        # event count lives in a local and is written back on exit (no
+        # mid-callback reader exists; `events_dispatched` is a
+        # post-run measurement).
+        queue = self._queue
+        pop = heappop
+        no_arg = _NO_ARG
+        cancelled = self._cancelled_seqs  # same set object for the run
+        tracer = self._tracer
+        traced = tracer.enabled
+        dispatched = self._events_dispatched
+        limit = _NO_LIMIT if max_events is None else dispatched + max_events
+        if until is None and max_events is None and not traced:
+            # The production shape (whole-run, tracing off): same loop
+            # minus the three per-event guards that cannot fire.  The
+            # general loop below stays the single source of truth for
+            # `until`/`max_events`/tracing semantics.
+            try:
+                while queue:
+                    time = queue[0][0]
+                    self.now = time
+                    while True:
+                        _t, seq, callback, arg = pop(queue)
+                        if cancelled and seq in cancelled:
+                            cancelled.remove(seq)
+                        else:
+                            dispatched += 1
+                            if arg is no_arg:
+                                callback()
+                            else:
+                                callback(arg)
+                            if self._stopped:
+                                return
+                        if not queue or queue[0][0] != time:
+                            break
+            finally:
+                self._events_dispatched = dispatched
+            return
+        try:
+            while queue:
+                time = queue[0][0]
+                if until is not None and time > until:
+                    self.now = until
+                    return
+                self.now = time
+                # Same-tick FIFO batch: heap order is (time, seq), so
+                # events a callback schedules for this same tick join
+                # the batch behind the already-queued ones.
+                while True:
+                    _t, seq, callback, arg = pop(queue)
+                    if cancelled and seq in cancelled:
+                        cancelled.remove(seq)
+                    elif dispatched >= limit:
+                        heappush(queue, (_t, seq, callback, arg))
+                        raise RuntimeError(
+                            f"exceeded max_events={max_events}; "
+                            "possible livelock"
+                        )
+                    else:
+                        dispatched += 1
+                        if traced:
+                            tracer.instant(
+                                "engine", "dispatch", "engine", time,
+                                {"seq": seq,
+                                 "fn": _callback_label(callback)},
+                            )
+                        if arg is no_arg:
+                            callback()
+                        else:
+                            callback(arg)
+                        if self._stopped:
+                            # Freeze time at the stop point: no `until`
+                            # fixup on the way out.
+                            return
+                    if not queue or queue[0][0] != time:
+                        break
+            if until is not None and self.now < until:
                 self.now = until
-                return
-            self.step()
-            dispatched += 1
-            if max_events is not None and dispatched > max_events:
-                raise RuntimeError(
-                    f"exceeded max_events={max_events}; possible livelock"
-                )
-        if until is not None and self.now < until:
-            self.now = until
+        finally:
+            self._events_dispatched = dispatched
 
     def stop(self) -> None:
         """Stop :meth:`run` after the current event returns."""
@@ -179,8 +336,8 @@ class Engine:
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of events still queued."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._queue) - len(self._cancelled_seqs)
 
     @property
     def events_dispatched(self) -> int:
@@ -188,5 +345,9 @@ class Engine:
         return self._events_dispatched
 
     def peek_time(self) -> Optional[int]:
-        """Tick of the next queued event, or ``None`` if the queue is empty."""
-        return self._queue[0][0] if self._queue else None
+        """Tick of the next live queued event, or ``None`` if none remain."""
+        queue = self._queue
+        cancelled = self._cancelled_seqs
+        while queue and cancelled and queue[0][1] in cancelled:
+            cancelled.remove(heappop(queue)[1])
+        return queue[0][0] if queue else None

@@ -8,6 +8,12 @@ The paper reports three kinds of numbers and these classes cover them all:
   (Figs. 8, 13) -- :class:`LatencyStat`;
 * traffic accounting such as Table I's extra-message counts --
   :class:`Counter` and :class:`Histogram`.
+
+Recording is on the simulation hot path (every serviced request touches a
+latency stat and two counters), so the primitives carry ``__slots__``,
+histograms count into a dense list (a few int ops per record, no dict
+lookups), and components are expected to pre-bind the ``record``/``add``
+bound methods they call per event rather than re-resolving stats by name.
 """
 
 from __future__ import annotations
@@ -18,6 +24,8 @@ from typing import Dict, Iterable, List, Optional
 
 class Counter:
     """A named monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -37,6 +45,8 @@ class LatencyStat:
     analysis layer; this class stays unit-agnostic.
     """
 
+    __slots__ = ("name", "count", "total", "min", "max")
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.count = 0
@@ -49,9 +59,11 @@ class LatencyStat:
             raise ValueError(f"negative latency {latency} on {self.name}")
         self.count += 1
         self.total += latency
-        if self.min is None or latency < self.min:
+        bound = self.min
+        if bound is None or latency < bound:
             self.min = latency
-        if self.max is None or latency > self.max:
+        bound = self.max
+        if bound is None or latency > bound:
             self.max = latency
 
     @property
@@ -97,20 +109,48 @@ class LatencyStat:
 
 
 class Histogram:
-    """Fixed-bucket histogram, used for queue depths and stash occupancy."""
+    """Fixed-bucket histogram, used for queue depths and stash occupancy.
+
+    Non-negative buckets (the only kind the models produce) count into a
+    dense list indexed by bucket, so :meth:`record` is a couple of int
+    compares and one indexed increment; negative buckets spill into a
+    side dict.  :attr:`buckets` presents the populated-bucket dict view
+    the analysis layer and tests consume.
+    """
+
+    __slots__ = ("name", "bucket_width", "count", "_dense", "_sparse")
 
     def __init__(self, name: str, bucket_width: int = 1) -> None:
         if bucket_width <= 0:
             raise ValueError("bucket_width must be positive")
         self.name = name
         self.bucket_width = bucket_width
-        self.buckets: Dict[int, int] = {}
+        self._dense: List[int] = []
+        self._sparse: Dict[int, int] = {}
         self.count = 0
 
     def record(self, value: int) -> None:
-        bucket = value // self.bucket_width
-        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        width = self.bucket_width
+        bucket = value if width == 1 else value // width
         self.count += 1
+        if bucket >= 0:
+            dense = self._dense
+            if bucket < len(dense):
+                dense[bucket] += 1
+            else:
+                dense.extend([0] * (bucket + 1 - len(dense)))
+                dense[bucket] = 1
+        else:
+            self._sparse[bucket] = self._sparse.get(bucket, 0) + 1
+
+    @property
+    def buckets(self) -> Dict[int, int]:
+        """Populated buckets as ``{bucket_index: count}``."""
+        out = dict(self._sparse)
+        for bucket, n in enumerate(self._dense):
+            if n:
+                out[bucket] = n
+        return out
 
     def quantile(self, q: float) -> int:
         """Return the lower edge of the bucket containing quantile ``q``."""
@@ -118,19 +158,29 @@ class Histogram:
             raise ValueError("q must be in [0, 1]")
         if self.count == 0:
             return 0
+        width = self.bucket_width
         target = q * self.count
         seen = 0
-        for bucket in sorted(self.buckets):
-            seen += self.buckets[bucket]
+        for bucket in sorted(self._sparse):
+            seen += self._sparse[bucket]
             if seen >= target:
-                return bucket * self.bucket_width
-        return max(self.buckets) * self.bucket_width
+                return bucket * width
+        for bucket, n in enumerate(self._dense):
+            if n:
+                seen += n
+                if seen >= target:
+                    return bucket * width
+        return self.max_value
 
     @property
     def max_value(self) -> int:
-        if not self.buckets:
-            return 0
-        return max(self.buckets) * self.bucket_width
+        dense = self._dense
+        for bucket in range(len(dense) - 1, -1, -1):
+            if dense[bucket]:
+                return bucket * self.bucket_width
+        if self._sparse:
+            return max(self._sparse) * self.bucket_width
+        return 0
 
 
 class StatSet:
@@ -141,6 +191,8 @@ class StatSet:
     everything via :meth:`as_dict`.
     """
 
+    __slots__ = ("owner", "_counters", "_latencies", "_histograms")
+
     def __init__(self, owner: str) -> None:
         self.owner = owner
         self._counters: Dict[str, Counter] = {}
@@ -148,21 +200,24 @@ class StatSet:
         self._histograms: Dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
-        if name not in self._counters:
-            self._counters[name] = Counter(f"{self.owner}.{name}")
-        return self._counters[name]
+        stat = self._counters.get(name)
+        if stat is None:
+            stat = self._counters[name] = Counter(f"{self.owner}.{name}")
+        return stat
 
     def latency(self, name: str) -> LatencyStat:
-        if name not in self._latencies:
-            self._latencies[name] = LatencyStat(f"{self.owner}.{name}")
-        return self._latencies[name]
+        stat = self._latencies.get(name)
+        if stat is None:
+            stat = self._latencies[name] = LatencyStat(f"{self.owner}.{name}")
+        return stat
 
     def histogram(self, name: str, bucket_width: int = 1) -> Histogram:
-        if name not in self._histograms:
-            self._histograms[name] = Histogram(
+        stat = self._histograms.get(name)
+        if stat is None:
+            stat = self._histograms[name] = Histogram(
                 f"{self.owner}.{name}", bucket_width
             )
-        return self._histograms[name]
+        return stat
 
     def as_dict(self) -> Dict[str, float]:
         """Flatten to ``{name: value}`` for reporting.

@@ -13,7 +13,8 @@ since the real traces are not redistributable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List
+from functools import lru_cache
+from typing import Dict, Iterator, List, Tuple
 
 from repro.trace.synthetic import SyntheticTrace, TraceParams, with_copy_seed
 from repro.trace.trace_format import TraceRecord
@@ -84,6 +85,22 @@ def benchmark_by_code(code: str) -> BenchmarkSpec:
                    f"codes: {sorted(_BY_CODE)} names: {sorted(_BY_NAME)}")
 
 
+@lru_cache(maxsize=256)
+def _materialized_trace(
+    code: str, length: int, copy_index: int, segment: int
+) -> Tuple[TraceRecord, ...]:
+    """Generate-once record storage behind :func:`benchmark_trace`.
+
+    Records are frozen, so the same tuple can back every consumer; an
+    experiment that runs the same benchmark under several schemes (the
+    common figure shape) pays for generation once.
+    """
+    spec = benchmark_by_code(code)
+    params = spec.params(seed=1 + 104729 * segment)
+    params = with_copy_seed(params, copy_index)
+    return tuple(SyntheticTrace(params, length).generate())
+
+
 def benchmark_trace(
     code: str, length: int, copy_index: int = 0, segment: int = 0
 ) -> Iterator[TraceRecord]:
@@ -93,7 +110,4 @@ def benchmark_trace(
     program -- Fig. 12 profiles on a *different trace segment* than the
     one measured, which this parameter reproduces.
     """
-    spec = benchmark_by_code(code)
-    params = spec.params(seed=1 + 104729 * segment)
-    params = with_copy_seed(params, copy_index)
-    return SyntheticTrace(params, length).generate()
+    return iter(_materialized_trace(code, length, copy_index, segment))

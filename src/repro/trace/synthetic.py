@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from math import log
 from typing import Iterator
 
 from repro.trace.trace_format import TraceRecord
@@ -78,16 +79,36 @@ class SyntheticTrace:
         base_mean = max(base_mean, 1.0)
         position = rng.randrange(p.working_set_lines)
 
+        # Per-record inline of _geometric with the log denominators
+        # precomputed (base_mean is always > 0; the burst mean may be 0,
+        # in which case _geometric returns 0 without consuming a draw).
+        uniform = rng.random
+        randrange = rng.randrange
+        burst_prob = p.burst_prob
+        stream_prob = p.stream_prob
+        write_fraction = p.write_fraction
+        working_set = p.working_set_lines
+        base_denom = log(1.0 - 1.0 / (base_mean + 1.0))
+        burst_mean = p.burst_gap_mean
+        burst_denom = (
+            log(1.0 - 1.0 / (burst_mean + 1.0)) if burst_mean > 0 else None
+        )
+
         for _ in range(self.length):
-            if rng.random() < p.burst_prob:
-                gap = _geometric(rng, p.burst_gap_mean)
+            if uniform() < burst_prob:
+                if burst_denom is None:
+                    gap = 0
+                else:
+                    u = uniform()
+                    gap = int(log(u if u > 1e-300 else 1e-300) / burst_denom)
             else:
-                gap = _geometric(rng, base_mean)
-            if rng.random() < p.stream_prob:
-                position = (position + 1) % p.working_set_lines
+                u = uniform()
+                gap = int(log(u if u > 1e-300 else 1e-300) / base_denom)
+            if uniform() < stream_prob:
+                position = (position + 1) % working_set
             else:
-                position = rng.randrange(p.working_set_lines)
-            is_write = rng.random() < p.write_fraction
+                position = randrange(working_set)
+            is_write = uniform() < write_fraction
             yield TraceRecord(gap=gap, is_write=is_write, line_addr=position)
 
     # ------------------------------------------------------------------
@@ -107,11 +128,9 @@ def _geometric(rng: random.Random, mean: float) -> int:
         return 0
     # Inverse-CDF sampling of a geometric distribution on {0, 1, ...}
     # with success probability 1/(mean+1).
-    import math
-
     u = rng.random()
     p_success = 1.0 / (mean + 1.0)
-    return int(math.log(max(u, 1e-300)) / math.log(1.0 - p_success))
+    return int(log(max(u, 1e-300)) / log(1.0 - p_success))
 
 
 def with_copy_seed(params: TraceParams, copy_index: int) -> TraceParams:

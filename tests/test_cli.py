@@ -26,6 +26,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["exp", "fig99"])
 
+    def test_perf_defaults(self):
+        args = build_parser().parse_args(["perf", "doram"])
+        assert args.scheme == "doram"
+        assert args.top == 25
+        assert args.sort == "cumulative"
+        assert args.output == ""
+
+    def test_perf_rejects_unknown_sort(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["perf", "doram", "--sort", "bogus"])
+
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -63,6 +74,17 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "ratio" in out
         assert "category" in out
+
+    def test_perf_command(self, capsys, tmp_path):
+        dump = tmp_path / "run.pstats"
+        assert main(["perf", "baseline", "--benchmark", "li",
+                     "--trace-length", "300", "--top", "5",
+                     "--output", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out
+        assert "cumulative" in out
+        assert "engine.py" in out  # Engine.run must be in the top 5
+        assert dump.exists()
 
     def test_trace_command_writes_exports(self, capsys, tmp_path):
         import json
