@@ -1,6 +1,6 @@
 """Simulation-core microbenchmarks: events/sec on the hot path.
 
-Three workloads, from synthetic to whole-system, each timed once and
+Four workloads, from synthetic to whole-system, each timed once and
 appended to ``BENCH_sim.json`` (see ``tools/bench_trajectory.py``):
 
 * **engine_only** -- a handful of self-rearming callbacks churning the
@@ -8,15 +8,26 @@ appended to ``BENCH_sim.json`` (see ``tools/bench_trajectory.py``):
 * **channel_only** -- one DRAM :class:`~repro.dram.channel.Channel`
   kept saturated with a deterministic read/write mix (row locality so
   FR-FCFS sees hits, misses, and conflicts): the DRAM service loop.
+* **long_idle** -- sparse cores (MPKI ~1) over a long horizon: most
+  simulated time is pipeline-only crunching between LLC misses, the
+  event-census stress case (DESIGN.md section 9).  Recorded twice, once
+  under the pre-census ``eager`` periodic mode and once lazy, so the
+  trajectory shows the idle fast-forward win directly.
 * **fig9_segment** -- ``run_scheme`` over a segment of the Fig. 9
   scheme set (baseline, doram, doram+1) on ``libq``: the workload the
   sweep runner is actually bottlenecked by.
 
 The fig9_segment record is the acceptance metric for the hot-path
 overhaul: its ``events_per_s`` must stay >= 2x the first (pre-overhaul)
-``baseline``-labelled entry of the trajectory.  Determinism of the
-*results* is enforced elsewhere (tests/obs golden digests); this file
-only measures wall time.
+``baseline``-labelled entry of the trajectory; the lazy long_idle record
+must stay >= 2x its eager sibling.  Determinism of the *results* is
+enforced elsewhere (tests/obs golden digests and the census-invariance
+suite); this file only measures wall time.
+
+Every record carries an ``events_dispatched`` column: the *raw* number
+of callbacks the engine dispatched, as opposed to ``events``, the
+logical census (dispatched + synthesized) that the golden results are
+keyed to.  The gap between the two is the census win.
 
 Scale knobs: ``DORAM_TRACE_LENGTH`` (fig9 segment accesses per core,
 default 2000), ``DORAM_BENCH_LABEL`` (trajectory label, default
@@ -30,9 +41,12 @@ import sys
 import time
 
 from repro.core.schemes import run_scheme
+from repro.core.system import DirectRouter
+from repro.cpu.core import Core
 from repro.dram.channel import Channel
 from repro.dram.commands import MemRequest, OpType
 from repro.sim.engine import Engine
+from repro.trace.synthetic import SyntheticTrace, TraceParams, with_copy_seed
 
 _TOOLS = os.path.abspath(
     os.path.join(os.path.dirname(__file__), "..", "tools")
@@ -111,7 +125,7 @@ def run_engine_only(total_events=300_000, actors=16):
     started = time.perf_counter()
     eng.run()
     wall = time.perf_counter() - started
-    return eng.events_dispatched, wall
+    return eng.events_dispatched, wall, eng.raw_events_dispatched
 
 
 def run_channel_only(n_requests=60_000):
@@ -143,21 +157,60 @@ def run_channel_only(n_requests=60_000):
     eng.run()
     wall = time.perf_counter() - started
     assert state["issued"] == n_requests, "channel workload under-issued"
-    return eng.events_dispatched, wall
+    return eng.events_dispatched, wall, eng.raw_events_dispatched
 
 
-def run_fig9_segment():
+def run_long_idle(periodic=None, n_cores=1, accesses_per_core=6000, mpki=0.5):
+    """A sparse trace-driven core: the idle fast-forward stress case.
+
+    At MPKI 0.5 the core spends ~500 pipeline cycles between LLC
+    misses, so nearly the whole event census is periodic core wakes with
+    nothing else due -- exactly what the gap crunch and refresh batching
+    elide.  One core on purpose: with the engine otherwise quiet the
+    crunch can fast-forward whole gaps, whereas co-running cores pin
+    ``Engine.peek_time()`` a cycle ahead and legitimately bound the skip
+    (see DESIGN.md section 9).  ``periodic="eager"`` reproduces the
+    pre-census engine for the comparison row.
+    """
+    eng = Engine(periodic=periodic)
+    channels = {
+        (0, 0): Channel(eng, "idle0"),
+        (1, 0): Channel(eng, "idle1"),
+    }
+    params = TraceParams(mpki=mpki, seed=11)
+    for app in range(n_cores):
+        trace = SyntheticTrace(
+            with_copy_seed(params, app), accesses_per_core
+        ).generate()
+        router = DirectRouter(
+            eng, channels, targets=[(0, 0), (1, 0)],
+            app_id=app, app_slot=app,
+        )
+        Core(eng, app, trace, router).start()
+    started = time.perf_counter()
+    eng.run()
+    wall = time.perf_counter() - started
+    return eng.events_dispatched, wall, eng.raw_events_dispatched
+
+
+def run_fig9_segment(periodic=None):
     """Whole-system runs over a Fig. 9 scheme segment."""
+    if periodic:
+        os.environ["DORAM_PERIODIC"] = periodic
+    else:
+        os.environ.pop("DORAM_PERIODIC", None)
     trace_length = _fig9_trace_length()
     events = 0
+    raw_events = 0
     per_scheme = {}
     started = time.perf_counter()
     for scheme in FIG9_SCHEMES:
         result = run_scheme(scheme, FIG9_BENCHMARK, trace_length)
         events += result.events
+        raw_events += result.raw_events
         per_scheme[scheme] = result.events
     wall = time.perf_counter() - started
-    return events, wall, per_scheme, trace_length
+    return events, wall, raw_events, per_scheme, trace_length
 
 
 # ---------------------------------------------------------------------------
@@ -165,18 +218,34 @@ def run_fig9_segment():
 # ---------------------------------------------------------------------------
 
 def test_simcore_throughput(benchmark):
-    events, wall = _best_of(run_engine_only)
-    _append("engine_only", events, wall)
+    events, wall, raw = _best_of(run_engine_only)
+    _append("engine_only", events, wall, events_dispatched=raw)
 
-    events, wall = _best_of(run_channel_only)
-    _append("channel_only", events, wall)
+    events, wall, raw = _best_of(run_channel_only)
+    _append("channel_only", events, wall, events_dispatched=raw)
 
-    (events, wall, per_scheme, trace_length) = benchmark.pedantic(
+    events, wall, raw = _best_of(run_long_idle, "eager")
+    _append("long_idle", events, wall, events_dispatched=raw,
+            config="eager")
+    events, wall, raw = _best_of(run_long_idle)
+    _append("long_idle", events, wall, events_dispatched=raw,
+            config="lazy")
+
+    # Same-machine eager sibling first: fig9 is noisy on shared hosts,
+    # so the lazy row is judged against this pair, not across sessions.
+    events, wall, raw, per_scheme, trace_length = _best_of(
+        run_fig9_segment, "eager"
+    )
+    _append("fig9_segment", events, wall, events_dispatched=raw,
+            config="eager", schemes=list(FIG9_SCHEMES),
+            per_scheme_events=per_scheme, trace_length=trace_length)
+
+    (events, wall, raw, per_scheme, trace_length) = benchmark.pedantic(
         lambda: _best_of(run_fig9_segment), rounds=1, iterations=1,
     )
-    _append("fig9_segment", events, wall,
-            schemes=list(FIG9_SCHEMES), per_scheme_events=per_scheme,
-            trace_length=trace_length)
+    _append("fig9_segment", events, wall, events_dispatched=raw,
+            config="lazy", schemes=list(FIG9_SCHEMES),
+            per_scheme_events=per_scheme, trace_length=trace_length)
 
 
 if __name__ == "__main__":

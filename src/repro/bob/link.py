@@ -11,7 +11,6 @@ the channel model).  Two instances form a full-duplex BOB link.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from heapq import heappush
 from typing import Callable, Dict
 
 from repro.obs.tracer import NULL_TRACER
@@ -107,10 +106,7 @@ class SerialLink:
         engine = self.engine
         seq = engine._seq
         engine._seq = seq + 1
-        heappush(
-            engine._queue,
-            (arrive, seq, deliver, arrive if arg is _ARRIVAL_TIME else arg),
-        )
+        engine._push((arrive, seq, deliver, arrive if arg is _ARRIVAL_TIME else arg))
         return arrive
 
     def queue_delay(self) -> int:
@@ -118,8 +114,16 @@ class SerialLink:
         return max(0, self._busy_until - self.engine.now)
 
     def utilization(self) -> float:
-        """Approximate busy fraction: bytes clocked / elapsed capacity."""
-        if self.engine.now == 0:
+        """Approximate busy fraction: bytes clocked / elapsed capacity.
+
+        Uses the cached byte counter (no per-call stats lookup) and
+        clamps to ``[0, 1]``: before any time has elapsed there is no
+        capacity to fill, and a packet accepted at tick 0 can make the
+        byte count exceed the elapsed-capacity product.
+        """
+        now = self.engine.now
+        if now <= 0:
             return 0.0
-        capacity = self.params.bytes_per_ns * self.engine.now / TICKS_PER_NS
-        return min(1.0, self.stats.counter("bytes").value / capacity)
+        capacity = self.params.bytes_per_ns * now / TICKS_PER_NS
+        util = self._bytes.value / capacity
+        return 1.0 if util > 1.0 else util

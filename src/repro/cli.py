@@ -15,6 +15,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -50,6 +51,10 @@ def _print_keyed(title: str, data: Dict[str, Dict[str, object]]) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.sched:
+        os.environ["DORAM_SCHED"] = args.sched
+    if args.periodic:
+        os.environ["DORAM_PERIODIC"] = args.periodic
     result = run_scheme(args.scheme, args.benchmark, args.trace_length)
     print(f"scheme={args.scheme} benchmark={args.benchmark} "
           f"trace={args.trace_length}")
@@ -63,8 +68,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"    {name:<7} util={row['utilization']:.2f} "
               f"rowhit={row['row_hit_rate']:.2f} "
               f"reads={int(row['reads'])} writes={int(row['writes'])}")
+    elided = result.events - result.raw_events
     print(f"  simulated {result.end_time / 16 / 1000:.1f} us, "
-          f"{result.events:,} events")
+          f"{result.events:,} events "
+          f"({result.raw_events:,} dispatched, {elided:,} synthesized)")
     return 0
 
 
@@ -261,6 +268,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--benchmark", default="libq")
     p_run.add_argument("--trace-length", type=int,
                        default=experiments.DEFAULT_TRACE_LENGTH)
+    p_run.add_argument("--sched", choices=("heap", "wheel"), default="",
+                       help="scheduler backend (DORAM_SCHED)")
+    p_run.add_argument("--periodic", choices=("lazy", "eager"), default="",
+                       help="periodic-stream mode (DORAM_PERIODIC); eager "
+                            "dispatches every occurrence, the census oracle")
     p_run.set_defaults(func=cmd_run)
 
     p_trace = sub.add_parser(

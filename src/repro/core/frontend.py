@@ -189,6 +189,13 @@ class OramFrontend(MemoryPort):
         self._app_requests_add = self.stats.counter("app_requests").add
         self._backlog_record = self.stats.histogram("backlog").record
         self._response_record = self.stats.latency("oram_response").record
+        # In-flight emission context for the bound _on_response (at most
+        # one request is in flight at a time, so instance fields replace
+        # the closure the emit path used to allocate per emission).
+        self._resp_issued_at = 0
+        self._resp_real = False
+        self._resp_is_write = False
+        self._resp_on_complete: Optional[Callable[[int], None]] = None
 
     def start(self) -> None:
         """Begin the fixed-rate emission loop at time zero."""
@@ -252,20 +259,27 @@ class OramFrontend(MemoryPort):
             tracer.instant(
                 "oram", "emit", self.name, issued_at, {"real": int(real)}
             )
+        self._resp_issued_at = issued_at
+        self._resp_real = real
+        self._resp_is_write = is_write
+        self._resp_on_complete = on_complete
+        self.backend.submit(block_id, self._on_response)
 
-        def on_response(time: int) -> None:
-            self._inflight = False
-            self._response_record(time - issued_at)
-            if tracer.enabled:
-                tracer.instant(
-                    "oram", "response", self.name, time,
-                    {"lat": time - issued_at, "real": int(real)},
-                )
-            if on_complete is not None and not is_write:
-                on_complete(time)
-            self._schedule_emit(self.pacer.response_received(time))
-
-        self.backend.submit(block_id, on_response)
+    def _on_response(self, time: int) -> None:
+        self._inflight = False
+        issued_at = self._resp_issued_at
+        on_complete = self._resp_on_complete
+        self._resp_on_complete = None
+        self._response_record(time - issued_at)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.instant(
+                "oram", "response", self.name, time,
+                {"lat": time - issued_at, "real": int(self._resp_real)},
+            )
+        if on_complete is not None and not self._resp_is_write:
+            on_complete(time)
+        self._schedule_emit(self.pacer.response_received(time))
 
     def _wake_space_waiters(self) -> None:
         if not self._space_waiters:

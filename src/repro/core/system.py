@@ -240,6 +240,12 @@ class SimResult:
     #: Full :meth:`StatSet.as_dict` export per protection-engine component
     #: (frontends, controllers, delegator), keyed by component name.
     component_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Events the engine actually dispatched (``events`` is the logical
+    #: census including synthesized periodic occurrences; this one drops
+    #: under lazy periodic mode).  Excluded from equality and from
+    #: :meth:`to_json_dict` so serialized results stay identical across
+    #: periodic modes.
+    raw_events: int = field(default=0, compare=False)
 
     # -- headline metrics -------------------------------------------------
     def ns_mean_time(self) -> float:
@@ -646,4 +652,5 @@ def build_and_run(config: SystemConfig,
         end_time=engine.now,
         snapshots=sampler.rows if sampler is not None else [],
         component_stats=component_stats,
+        raw_events=engine.raw_events_dispatched,
     )

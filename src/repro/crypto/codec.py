@@ -16,16 +16,29 @@ back.
 from __future__ import annotations
 
 import struct
+from functools import lru_cache
 from typing import List, Optional, Tuple
 
 from repro.crypto.aes import AES128
 from repro.crypto.mac import mac_tag, mac_verify
+from repro.crypto.otp import xor_bytes
 
 #: (block_id, leaf, data) with block_id == _DUMMY_ID marking padding.
 BucketTuples = List[Tuple[int, int, bytes]]
 
 _DUMMY_ID = 0xFFFFFFFFFFFFFFFF
 _HEADER = struct.Struct(">QQ")  # block_id, leaf
+
+
+@lru_cache(maxsize=8)
+def _dummy_slots(count: int, block_bytes: int) -> bytes:
+    """The padding tail of a bucket image.
+
+    Dummy slots are a fixed byte pattern per geometry, yet every encode
+    used to rebuild them slot by slot; buckets are mostly padding (Z=4
+    with ~1 real block typical), so this is the bulk of serialization.
+    """
+    return (_HEADER.pack(_DUMMY_ID, 0) + bytes(block_bytes)) * count
 
 
 class CodecError(RuntimeError):
@@ -55,8 +68,9 @@ def _serialize(blocks: BucketTuples, bucket_size: int, block_bytes: int) -> byte
         if len(data) != block_bytes:
             raise CodecError("wrong block payload size")
         out += _HEADER.pack(block_id, leaf) + data
-    for _ in range(bucket_size - len(blocks)):
-        out += _HEADER.pack(_DUMMY_ID, 0) + bytes(block_bytes)
+    padding = bucket_size - len(blocks)
+    if padding:
+        out += _dummy_slots(padding, block_bytes)
     return bytes(out)
 
 
@@ -113,7 +127,7 @@ class EncryptedBucketCodec(BucketCodec):
         counter = self._write_counter
         self._write_counter += 1
         pad = self._aes.keystream(counter, 0, len(plain))
-        cipher = bytes(p ^ k for p, k in zip(plain, pad))
+        cipher = xor_bytes(plain, pad)
         head = counter.to_bytes(8, "big")
         tag = mac_tag(self._mac_key,
                       head + bucket.to_bytes(8, "big") + cipher,
@@ -131,5 +145,5 @@ class EncryptedBucketCodec(BucketCodec):
             raise CodecError(f"bucket {bucket}: MAC check failed")
         counter = int.from_bytes(head, "big")
         pad = self._aes.keystream(counter, 0, len(cipher))
-        plain = bytes(c ^ k for c, k in zip(cipher, pad))
+        plain = xor_bytes(cipher, pad)
         return _deserialize(plain, bucket_size, block_bytes)

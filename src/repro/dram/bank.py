@@ -27,6 +27,7 @@ from typing import Optional, Tuple
 
 from repro.dram.commands import MemRequest
 from repro.dram.timing import DDR3Timing
+from repro.sim.periodic import PeriodicStream
 
 
 class Bank:
@@ -278,7 +279,7 @@ class RankTimers:
         "timing",
         "_acts",
         "_last_write_end",
-        "_next_refresh",
+        "refresh",
         "refreshes",
         "_tRRD",
         "_tFAW",
@@ -292,7 +293,11 @@ class RankTimers:
         #: Ticks of the most recent activates (at most 4 kept).
         self._acts: list = []
         self._last_write_end = -(10**12)
-        self._next_refresh = timing.tREFI
+        #: The refresh deadline as a lazy occurrence stream: one window
+        #: every tREFI, first due one interval in.  The channel's service
+        #: loop consumes overdue windows in closed form (see
+        #: :mod:`repro.sim.periodic`).
+        self.refresh = PeriodicStream(timing.tREFI)
         self.refreshes = 0
         self._tRRD = timing.tRRD
         self._tFAW = timing.tFAW
@@ -339,10 +344,13 @@ class RankTimers:
         The caller must invoke :meth:`complete_refresh` to advance the
         schedule after stalling for the window.
         """
-        if time >= self._next_refresh:
-            return (self._next_refresh, self._next_refresh + self._tRFC)
+        due = self.refresh.next_due
+        if time >= due:
+            return (due, due + self._tRFC)
         return None
 
     def complete_refresh(self) -> None:
         self.refreshes += 1
-        self._next_refresh += self._tREFI
+        stream = self.refresh
+        stream.occurrences += 1
+        stream.next_due += self._tREFI

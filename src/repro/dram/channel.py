@@ -30,7 +30,6 @@ mixed-traffic slots where the share policy filters candidates first).
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import Callable, Dict, List, Optional
 
 from repro.dram.bank import Bank, RankTimers
@@ -125,6 +124,15 @@ class Channel:
         }
         self._rq_secure = 0
         self._wq_secure = 0
+        # Refresh census plumbing: the rank's deadline stream (eager mode
+        # pins it to one window per service dispatch, the pre-lazy
+        # census), plus cached tREFI/tRFC and the refresh counter so the
+        # catch-up path does closed-form batches without dict lookups.
+        self._refresh_stream = self.rank.refresh
+        self._refresh_stream.eager = not engine.lazy_periodic
+        self._tREFI = timing.tREFI
+        self._tRFC = timing.tRFC
+        self._refreshes_counter = self.stats.counter("refreshes")
 
     # ------------------------------------------------------------------
     # Front-end interface
@@ -172,10 +180,9 @@ class Channel:
             now = engine.now
             seq = engine._seq
             engine._seq = seq + 1
-            heappush(
-                engine._queue,
+            engine._push(
                 (bus_free if bus_free > now else now, seq,
-                 self._service, _NO_ARG),
+                 self._service, _NO_ARG)
             )
 
     def notify_on_space(self, callback: Callable[[], None]) -> None:
@@ -218,31 +225,49 @@ class Channel:
         # Refresh first: if the refresh deadline has passed, stall the rank
         # for tRFC with every bank precharged.  The deadline is read
         # directly (one compare on the not-due path, which is every
-        # service but one in ~7.8 us).
-        rank = self.rank
-        if now >= rank._next_refresh:
-            start, end = rank.refresh_window(now)
-            for bank in self.banks:
-                bank.force_precharge(end)
-            if self.command_log is not None:
+        # service but one in ~7.8 us).  All overdue windows are consumed
+        # in one dispatch: the pre-batch code chained one same-tick
+        # service dispatch per window (each window's end lands before
+        # ``now`` except possibly the last), so stats, command log, and
+        # trace entries are reconstructed per window back-dated exactly
+        # where those dispatches put them, and the skipped dispatches are
+        # accounted as synthesized occurrences.  In eager periodic mode
+        # the stream hands over one window at a time, reproducing the
+        # dispatch-per-window census bit-for-bit.
+        stream = self._refresh_stream
+        if now >= stream.next_due:
+            first, count = stream.take_due(now)
+            tRFC = self._tRFC
+            last_start = first + (count - 1) * self._tREFI
+            last_end = last_start + tRFC
+            log = self.command_log
+            if log is not None:
                 from repro.dram.compliance import DramCommand
 
-                self.command_log.append(
-                    DramCommand(start, "REF", -1, None, end)
-                )
-            self._bus_free = max(self._bus_free, end)
-            self.rank.complete_refresh()
-            self.stats.counter("refreshes").add()
+                start = first
+                for _ in range(count):
+                    log.append(
+                        DramCommand(start, "REF", -1, None, start + tRFC)
+                    )
+                    start += self._tREFI
             if self._tracer.enabled:
-                self._tracer.complete(
-                    "dram", "refresh", self.name, start, end - start
+                self._tracer.complete_series(
+                    "dram", "refresh", self.name, first, self._tREFI,
+                    count, tRFC,
                 )
+            for bank in self.banks:
+                bank.force_precharge(last_end)
+            if last_end > self._bus_free:
+                self._bus_free = last_end
+            self.rank.refreshes += count
+            self._refreshes_counter.value += count
+            if count > 1:
+                engine._synthesized += count - 1
             self._service_scheduled = True
             seq = engine._seq
             engine._seq = seq + 1
-            heappush(
-                engine._queue,
-                (max(now, self._bus_free), seq, self._service, _NO_ARG),
+            engine._push(
+                (max(now, self._bus_free), seq, self._service, _NO_ARG)
             )
             return
 
@@ -368,7 +393,7 @@ class Channel:
         if on_complete is not None:
             seq = engine._seq
             engine._seq = seq + 1
-            heappush(engine._queue, (finish, seq, on_complete, finish))
+            engine._push((finish, seq, on_complete, finish))
 
         if self._space_waiters:
             self._wake_space_waiters()
@@ -378,7 +403,7 @@ class Channel:
             self._service_scheduled = True
             seq = engine._seq
             engine._seq = seq + 1
-            heappush(engine._queue, (data_start, seq, self._service, _NO_ARG))
+            engine._push((data_start, seq, self._service, _NO_ARG))
 
     def _select_queue(self) -> List[MemRequest]:
         """Write-drain hysteresis + age bound, else reads, else writes."""

@@ -48,6 +48,11 @@ class SecureMemPort(MemoryPort):
         self._outstanding = 0
         self._space_waiters: List[Callable[[], None]] = []
         self._held: List[MemRequest] = []
+        # Counters resolved once; issue() runs per S-App LLC miss.
+        self._real_requests_add = self.stats.counter("real_requests").add
+        self._dummy_requests_add = self.stats.counter("dummy_requests").add
+        self._reads_add = self.stats.counter("reads").add
+        self._writes_add = self.stats.counter("writes").add
 
     # ------------------------------------------------------------------
     def can_accept(self, op: OpType) -> bool:
@@ -84,7 +89,7 @@ class SecureMemPort(MemoryPort):
                     app_id=self.app_id, traffic=TrafficClass.SECURE,
                     on_complete=replica_done,
                 )
-                self.stats.counter("real_requests").add()
+                self._real_requests_add()
             else:
                 req = MemRequest(
                     op, channel_id, subchannel,
@@ -94,7 +99,7 @@ class SecureMemPort(MemoryPort):
                     app_id=self.app_id, traffic=TrafficClass.SECURE,
                     on_complete=replica_done,
                 )
-                self.stats.counter("dummy_requests").add()
+                self._dummy_requests_add()
             self._enqueue_or_hold(channel, req)
 
     # ------------------------------------------------------------------
@@ -124,5 +129,7 @@ class SecureMemPort(MemoryPort):
                 on_complete(self.engine.now)
 
         self.engine.at(max(done, self.engine.now), fire)
-        kind = "write" if op is OpType.WRITE else "read"
-        self.stats.counter(f"{kind}s").add()
+        if op is OpType.WRITE:
+            self._writes_add()
+        else:
+            self._reads_add()

@@ -24,6 +24,8 @@ into ticks.
 
 from __future__ import annotations
 
+import os
+from functools import partial
 from heapq import heappop, heappush
 from typing import Callable, List, Optional, Tuple
 
@@ -108,14 +110,46 @@ class Engine:
     [10]
     """
 
-    def __init__(self, tracer=None) -> None:
+    def __init__(self, tracer=None, scheduler: Optional[str] = None,
+                 periodic: Optional[str] = None) -> None:
         """``tracer`` (a :class:`repro.obs.tracer.Tracer`) enables
         per-dispatch events under the ``engine`` category; dispatch
-        tracing is opt-in because it emits one event per callback."""
+        tracing is opt-in because it emits one event per callback.
+
+        ``scheduler`` selects the pending-event structure: ``"heap"``
+        (default) or ``"wheel"`` (the bucketed calendar queue in
+        :mod:`repro.sim.wheel`); ``None`` reads ``DORAM_SCHED``.  Both
+        dispatch in identical ``(time, seq)`` order -- the differential
+        reference suite pins this.
+
+        ``periodic`` selects how fixed-cadence model bookkeeping (rank
+        refresh, the secure engine's emitter, core gap crunching) is
+        materialized: ``"lazy"`` (default) lets models fast-forward
+        quiescent stretches in closed form, synthesizing the skipped
+        occurrences into the event census; ``"eager"`` forces the
+        one-event-per-occurrence behavior (the census-invariance
+        differential oracle).  ``None`` reads ``DORAM_PERIODIC``.
+        """
+        if scheduler is None:
+            scheduler = os.environ.get("DORAM_SCHED", "heap")
+        if scheduler not in ("heap", "wheel"):
+            raise ValueError(f"unknown scheduler backend {scheduler!r}")
+        if periodic is None:
+            periodic = os.environ.get("DORAM_PERIODIC", "lazy")
+        if periodic not in ("lazy", "eager"):
+            raise ValueError(f"unknown periodic mode {periodic!r}")
         self.now: int = 0
         self._queue: List[EventHandle] = []
         self._seq = 0
         self._events_dispatched = 0
+        #: Occurrences of periodic model work that lazy fast-forwarding
+        #: reconstructed without a dispatch.  Added into
+        #: :attr:`events_dispatched` so the logical census (and every
+        #: serialized SimResult) is identical across periodic modes.
+        self._synthesized = 0
+        #: True when models may fast-forward periodic work (see above).
+        self.lazy_periodic = periodic == "lazy"
+        self.scheduler = scheduler
         #: Seqs of cancelled-but-not-yet-popped entries.  The dispatch
         #: loop guards on the set's truthiness, so the no-cancellation
         #: hot path pays a single local check per event.
@@ -125,6 +159,19 @@ class Engine:
             tracer.category("engine") if tracer is not None
             else _NULL_DISPATCH_TRACER
         )
+        if scheduler == "wheel":
+            from repro.sim.wheel import DEFAULT_BUCKET_TICKS, TimingWheel
+
+            bucket = int(
+                os.environ.get("DORAM_WHEEL_BUCKET", DEFAULT_BUCKET_TICKS)
+            )
+            self._wheel: Optional["TimingWheel"] = TimingWheel(bucket)
+            #: Single scheduling entry point: hot callers cache this
+            #: bound callable instead of inlining ``heappush``.
+            self._push: Callable[[EventHandle], None] = self._wheel.push
+        else:
+            self._wheel = None
+            self._push = partial(heappush, self._queue)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -143,7 +190,7 @@ class Engine:
         seq = self._seq
         self._seq = seq + 1
         entry = (time, seq, callback, _NO_ARG)
-        heappush(self._queue, entry)
+        self._push(entry)
         return entry
 
     def after(self, delay: int, callback: Callable[[], None]) -> EventHandle:
@@ -153,7 +200,7 @@ class Engine:
         seq = self._seq
         self._seq = seq + 1
         entry = (self.now + delay, seq, callback, _NO_ARG)
-        heappush(self._queue, entry)
+        self._push(entry)
         return entry
 
     def call_at(
@@ -170,7 +217,7 @@ class Engine:
         seq = self._seq
         self._seq = seq + 1
         entry = (time, seq, callback, arg)
-        heappush(self._queue, entry)
+        self._push(entry)
         return entry
 
     def call_after(
@@ -182,7 +229,7 @@ class Engine:
         seq = self._seq
         self._seq = seq + 1
         entry = (self.now + delay, seq, callback, arg)
-        heappush(self._queue, entry)
+        self._push(entry)
         return entry
 
     def cancel(self, handle: EventHandle) -> bool:
@@ -195,7 +242,10 @@ class Engine:
         until it surfaces, so cancel costs one membership scan and no
         heap restructuring.
         """
-        if handle[1] in self._cancelled_seqs or handle not in self._queue:
+        if handle[1] in self._cancelled_seqs:
+            return False
+        wheel = self._wheel
+        if handle not in (self._queue if wheel is None else wheel):
             return False
         self._cancelled_seqs.add(handle[1])
         return True
@@ -205,10 +255,37 @@ class Engine:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Dispatch the next event.  Returns ``False`` when queue is empty."""
+        wheel = self._wheel
+        if wheel is not None:
+            return self._step_wheel()
         queue = self._queue
         cancelled = self._cancelled_seqs
         while queue:
             time, seq, callback, arg = heappop(queue)
+            if cancelled and seq in cancelled:
+                cancelled.remove(seq)
+                continue
+            self.now = time
+            self._events_dispatched += 1
+            tracer = self._tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "engine", "dispatch", "engine", time,
+                    {"seq": seq, "fn": _callback_label(callback)},
+                )
+            if arg is _NO_ARG:
+                callback()
+            else:
+                callback(arg)
+            return True
+        return False
+
+    def _step_wheel(self) -> bool:
+        """:meth:`step` over the wheel backend (same semantics)."""
+        wheel = self._wheel
+        cancelled = self._cancelled_seqs
+        while len(wheel):
+            time, seq, callback, arg = wheel.pop()
             if cancelled and seq in cancelled:
                 cancelled.remove(seq)
                 continue
@@ -243,6 +320,8 @@ class Engine:
             instead of hanging.
         """
         self._stopped = False
+        if self._wheel is not None:
+            return self._run_wheel(until, max_events)
         # The dispatch loop binds everything it touches every iteration
         # to locals (heap, heappop, tracer guard, dispatch budget) and
         # drains each tick as a same-tick batch, so the `until` bound and
@@ -327,6 +406,62 @@ class Engine:
         finally:
             self._events_dispatched = dispatched
 
+    def _run_wheel(self, until: Optional[int],
+                   max_events: Optional[int]) -> None:
+        """:meth:`run` over the wheel backend.
+
+        Same structure as the heap general loop -- same-tick FIFO
+        batching, tombstone skip, ``until``/``max_events``/tracing
+        semantics -- with heap peeks replaced by :meth:`TimingWheel.peek`.
+        """
+        wheel = self._wheel
+        cancelled = self._cancelled_seqs
+        tracer = self._tracer
+        traced = tracer.enabled
+        no_arg = _NO_ARG
+        dispatched = self._events_dispatched
+        limit = _NO_LIMIT if max_events is None else dispatched + max_events
+        try:
+            head = wheel.peek()
+            while head is not None:
+                time = head[0]
+                if until is not None and time > until:
+                    self.now = until
+                    return
+                self.now = time
+                while True:
+                    entry = wheel.pop()
+                    _t, seq, callback, arg = entry
+                    if cancelled and seq in cancelled:
+                        cancelled.remove(seq)
+                    elif dispatched >= limit:
+                        wheel.push(entry)
+                        raise RuntimeError(
+                            f"exceeded max_events={max_events}; "
+                            "possible livelock"
+                        )
+                    else:
+                        dispatched += 1
+                        if traced:
+                            tracer.instant(
+                                "engine", "dispatch", "engine", time,
+                                {"seq": seq,
+                                 "fn": _callback_label(callback)},
+                            )
+                        if arg is no_arg:
+                            callback()
+                        else:
+                            callback(arg)
+                        if self._stopped:
+                            return
+                    head = wheel.peek()
+                    if head is None or head[0] != time:
+                        break
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._events_dispatched = dispatched
+
     def stop(self) -> None:
         """Stop :meth:`run` after the current event returns."""
         self._stopped = True
@@ -337,17 +472,51 @@ class Engine:
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return len(self._queue) - len(self._cancelled_seqs)
+        wheel = self._wheel
+        queued = len(self._queue) if wheel is None else len(wheel)
+        return queued - len(self._cancelled_seqs)
 
     @property
     def events_dispatched(self) -> int:
-        """Total events dispatched since construction."""
+        """Logical event census: dispatches plus synthesized occurrences.
+
+        Lazy periodic fast-forwarding removes heap events but accounts
+        every occurrence it reconstructs here, so this census (and the
+        SimResult payloads built from it) is identical whichever
+        ``periodic`` mode ran.  :attr:`raw_events_dispatched` counts
+        actual dispatches only.
+        """
+        return self._events_dispatched + self._synthesized
+
+    @property
+    def raw_events_dispatched(self) -> int:
+        """Events actually popped and dispatched (no synthesized ones)."""
         return self._events_dispatched
+
+    @property
+    def events_synthesized(self) -> int:
+        """Periodic occurrences reconstructed without a dispatch."""
+        return self._synthesized
+
+    def note_synthesized(self, count: int) -> None:
+        """Account ``count`` periodic occurrences handled without a
+        dispatch (see :attr:`events_dispatched`)."""
+        self._synthesized += count
 
     def peek_time(self) -> Optional[int]:
         """Tick of the next live queued event, or ``None`` if none remain."""
-        queue = self._queue
         cancelled = self._cancelled_seqs
+        wheel = self._wheel
+        if wheel is not None:
+            while True:
+                head = wheel.peek()
+                if head is None:
+                    return None
+                if cancelled and head[1] in cancelled:
+                    cancelled.remove(wheel.pop()[1])
+                    continue
+                return head[0]
+        queue = self._queue
         while queue and cancelled and queue[0][1] in cancelled:
             cancelled.remove(heappop(queue)[1])
         return queue[0][0] if queue else None

@@ -1,0 +1,94 @@
+"""Lazy fixed-cadence occurrence streams (the census primitive).
+
+The simulator has two kinds of strictly periodic bookkeeping: the DRAM
+rank refresh schedule (one window every ``tREFI``) and the secure
+engine's fixed-rate emitter (one packet every ``t`` CPU cycles after the
+previous response).  Materializing each occurrence as a heap event makes
+idle stretches cost O(occurrences) dispatches even though nothing
+model-visible happens between them.
+
+:class:`PeriodicStream` keeps only the *next* due time and a running
+occurrence count.  Consumers poll :meth:`take_due` when they are
+naturally active (the DRAM service loop) or when the engine fast-forwards
+time; the stream answers "how many occurrences fell due since you last
+asked" in closed form, so a quiescent gap of N periods costs one integer
+division instead of N dispatches.
+
+``eager=True`` restores the one-at-a-time behavior (``take_due`` never
+returns more than one occurrence), which reproduces the pre-lazy event
+census bit-for-bit -- the census-invariance suite diffes the two modes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+class PeriodicStream:
+    """Closed-form occurrence accounting for a fixed-cadence deadline.
+
+    Parameters
+    ----------
+    period:
+        Ticks between occurrences (must be positive).
+    first_due:
+        Tick of the first occurrence (defaults to ``period``, matching a
+        schedule that starts one period after time zero).
+    eager:
+        When true, :meth:`take_due` consumes at most one occurrence per
+        call -- the pre-lazy census, kept as a differential oracle.
+    """
+
+    __slots__ = ("period", "next_due", "occurrences", "eager")
+
+    def __init__(self, period: int, first_due: Optional[int] = None,
+                 eager: bool = False) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.period = period
+        self.next_due = period if first_due is None else first_due
+        self.occurrences = 0
+        self.eager = eager
+
+    # ------------------------------------------------------------------
+    def due(self, now: int) -> bool:
+        """True when at least one occurrence is due at or before ``now``."""
+        return now >= self.next_due
+
+    def due_count(self, now: int) -> int:
+        """Occurrences due at or before ``now`` (0 if none)."""
+        if now < self.next_due:
+            return 0
+        return (now - self.next_due) // self.period + 1
+
+    def take_due(self, now: int) -> Tuple[int, int]:
+        """Consume all occurrences due at or before ``now``.
+
+        Returns ``(first_due, count)`` with ``count == 0`` when nothing
+        is due.  In eager mode at most one occurrence is consumed, so a
+        caller that loops (or re-polls on its next activation) observes
+        the same per-occurrence sequence the pre-lazy code dispatched.
+        """
+        first = self.next_due
+        if now < first:
+            return first, 0
+        period = self.period
+        count = 1 if self.eager else (now - first) // period + 1
+        self.next_due = first + count * period
+        self.occurrences += count
+        return first, count
+
+    def rebase(self, due: int) -> None:
+        """Re-anchor the cadence: the next occurrence is exactly ``due``.
+
+        The secure engine's pacer is response-anchored (next emission =
+        response time + t), not free-running; ``rebase`` expresses that
+        without losing the occurrence count.
+        """
+        self.next_due = due
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PeriodicStream(period={self.period}, next_due={self.next_due}, "
+            f"occurrences={self.occurrences}, eager={self.eager})"
+        )

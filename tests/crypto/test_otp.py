@@ -36,6 +36,27 @@ class TestOtpStream:
         stream_b = OtpStream(b"K" * 16, 1)
         assert stream_a.next_pad(72) == stream_b.next_pad(72)
 
+    def test_next_pad_caches_for_pad_for(self):
+        stream = OtpStream(b"K" * 16, 1)
+        seq, pad = stream.next_pad(72)
+        assert stream.cached_pad(seq)
+        assert stream.pad_for(seq, 72) == pad
+        # pad_for pops: the cached copy is consumed exactly once.
+        assert not stream.cached_pad(seq)
+
+    def test_cached_pad_ignored_on_length_mismatch(self):
+        stream = OtpStream(b"K" * 16, 1)
+        seq, _ = stream.next_pad(8)
+        fresh = OtpStream(b"K" * 16, 1)
+        assert stream.pad_for(seq, 72) == fresh.pad_for(seq, 72)
+
+    def test_pregenerate_matches_next_pad(self):
+        warm = OtpStream(b"K" * 16, 1)
+        warm.pregenerate(4, 72)
+        cold = OtpStream(b"K" * 16, 1)
+        for _ in range(4):
+            assert warm.next_pad(72) == cold.next_pad(72)
+
 
 class TestXor:
     def test_involution(self):
@@ -99,3 +120,22 @@ class TestOtpEngine:
     def test_wrong_key_size(self):
         with pytest.raises(ValueError):
             OtpEngine(b"short", 0)
+
+    def test_pad_cache_stats(self):
+        # Loopback: the same engine seals and opens, so the open path
+        # finds every pad in the stream cache.
+        loop = OtpEngine(b"K" * 16, 7)
+        for i in range(5):
+            assert loop.open(loop.seal(bytes([i]) * 72)) == bytes([i]) * 72
+        assert loop.stats.counter("pad_hits").value == 5
+        assert loop.stats.counter("pad_misses").value == 0
+        # Separate peer engines never share pads: all misses.
+        cpu, sd = engine_pair()
+        sd.open(cpu.seal(b"m" * 72))
+        assert sd.stats.counter("pad_hits").value == 0
+        assert sd.stats.counter("pad_misses").value == 1
+
+    def test_cache_hit_decrypts_correctly(self):
+        loop = OtpEngine(b"K" * 16, 9)
+        msg = b"payload!".ljust(72, b"\xaa")
+        assert loop.open(loop.seal(msg)) == msg

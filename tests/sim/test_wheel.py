@@ -1,0 +1,115 @@
+"""TimingWheel unit tests: exact (time, seq) order under bucket churn.
+
+The differential suite (test_engine_reference) already pins the wheel
+*backend* against the reference scheduler; these tests hit the wheel
+data structure directly, including the bucket-boundary cases a random
+program may not reliably produce.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim.wheel import DEFAULT_BUCKET_TICKS, TimingWheel
+
+
+def _drain(wheel):
+    out = []
+    while len(wheel):
+        out.append(wheel.pop())
+    return out
+
+
+class TestTimingWheel:
+    def test_orders_like_a_heap(self):
+        rng = random.Random(5)
+        entries = [
+            (rng.randrange(0, 50_000), seq, None, None)
+            for seq in range(2_000)
+        ]
+        wheel = TimingWheel()
+        for entry in entries:
+            wheel.push(entry)
+        assert _drain(wheel) == sorted(entries)
+
+    def test_interleaved_push_pop(self):
+        # Pushes landing in the current bucket after partial drains must
+        # slot into the already-heapified head, not a future bucket.
+        wheel = TimingWheel()
+        heap = []
+        rng = random.Random(9)
+        seq = 0
+        now = 0
+        got, want = [], []
+        for _ in range(3_000):
+            if heap and rng.random() < 0.45:
+                want.append(heapq.heappop(heap))
+                got.append(wheel.pop())
+                now = want[-1][0]
+            else:
+                entry = (now + rng.randrange(0, 4 * DEFAULT_BUCKET_TICKS),
+                         seq, None, None)
+                seq += 1
+                heapq.heappush(heap, entry)
+                wheel.push(entry)
+        while heap:
+            want.append(heapq.heappop(heap))
+            got.append(wheel.pop())
+        assert got == want
+
+    def test_same_time_fifo_by_seq(self):
+        wheel = TimingWheel()
+        entries = [(100, seq, None, None) for seq in range(20)]
+        for entry in reversed(entries):
+            wheel.push(entry)
+        assert _drain(wheel) == entries
+
+    def test_peek_does_not_consume(self):
+        wheel = TimingWheel()
+        entry = (7, 0, None, None)
+        wheel.push(entry)
+        assert wheel.peek() == entry
+        assert wheel.peek() == entry
+        assert wheel.pop() == entry
+        assert wheel.peek() is None
+
+    def test_contains_across_buckets(self):
+        wheel = TimingWheel()
+        near = (1, 0, None, None)
+        far = (10 * DEFAULT_BUCKET_TICKS, 1, None, None)
+        wheel.push(near)
+        wheel.push(far)
+        assert near in wheel and far in wheel
+        assert (2, 2, None, None) not in wheel
+        wheel.pop()
+        assert near not in wheel and far in wheel
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            TimingWheel().pop()
+
+    def test_len_tracks_contents(self):
+        wheel = TimingWheel()
+        assert len(wheel) == 0
+        for seq in range(5):
+            wheel.push((seq * DEFAULT_BUCKET_TICKS, seq, None, None))
+        assert len(wheel) == 5
+        wheel.pop()
+        assert len(wheel) == 4
+
+    @pytest.mark.parametrize("bucket", [1, 2, 64])
+    def test_custom_bucket_widths(self, bucket):
+        rng = random.Random(bucket)
+        entries = [
+            (rng.randrange(0, 500), seq, None, None) for seq in range(300)
+        ]
+        wheel = TimingWheel(bucket_ticks=bucket)
+        for entry in entries:
+            wheel.push(entry)
+        assert _drain(wheel) == sorted(entries)
+
+    @pytest.mark.parametrize("bad", [0, -8, 3, 500])
+    def test_bucket_width_must_be_power_of_two(self, bad):
+        with pytest.raises(ValueError):
+            TimingWheel(bucket_ticks=bad)
