@@ -34,6 +34,7 @@ from repro.analysis.profiling import ProfileResult, profile_ratio
 from repro.analysis.sweep import (
     ResultStore,
     RunPoint,
+    SweepFailure,
     SweepResult,
     dedup_points,
     run_sweep,
@@ -500,18 +501,27 @@ def run_figures(
     store: Optional[ResultStore] = None,
     resume: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    timeout_s: Optional[float] = None,
 ) -> Tuple[Dict[str, object], SweepResult]:
     """Sweep every point the figures need, then evaluate their drivers.
 
     Returns ``({figure: driver_output}, sweep_result)``.  The drivers
     consume the primed memo, so after the sweep they are pure
     arithmetic -- no simulation happens on the calling thread.
+
+    Raises :class:`~repro.analysis.sweep.SweepFailure` if any point
+    failed even after the sweep's bounded retry: the drivers need every
+    declared point, and silently re-simulating a failed point inline
+    (via the :func:`cached_run` fallback) would hide the failure and
+    hang the exact way the sweep timeout exists to prevent.
     """
     points = points_for_figures(figures, benchmarks, trace_length)
     sweep_result = run_sweep(
         points, workers=workers, store=store, resume=resume,
-        progress=progress,
+        progress=progress, timeout_s=timeout_s,
     )
+    if sweep_result.failed:
+        raise SweepFailure(sweep_result)
     prime_cache(sweep_result.results())
     outputs = {
         figure: FIGURE_DRIVERS[figure](benchmarks, trace_length)

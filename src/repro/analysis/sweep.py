@@ -38,9 +38,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import signal
+import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.schemes import make_config, run_scheme
@@ -181,13 +183,40 @@ class ResultStore:
             return None
 
     def put(self, key: str, payload: Dict[str, object]) -> None:
+        """Durably persist one entry.
+
+        The tmp name is unique per call (``mkstemp``), not per
+        ``(pid, key)``: two threads of one process storing the same key
+        used to race on a shared tmp path, and one could rename the
+        other's half-written file into place.  The data is fsynced
+        before the rename and the directory entry after it, so a crash
+        at any point leaves either the old entry or the complete new
+        one -- never a torn file.
+        """
         path = self.path_for(key)
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
-        tmp = os.path.join(directory, f".tmp-{os.getpid()}-{key[:16]}")
-        with open(tmp, "w") as fp:
-            fp.write(canonical_json(payload))
-        os.replace(tmp, path)
+        fd, tmp = tempfile.mkstemp(prefix=".tmp-", dir=directory)
+        try:
+            with os.fdopen(fd, "w") as fp:
+                fp.write(canonical_json(payload))
+                fp.flush()
+                os.fsync(fp.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        try:
+            dir_fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
 
     def delete(self, key: str) -> bool:
         try:
@@ -216,16 +245,12 @@ class ResultStore:
 # ---------------------------------------------------------------------------
 
 
-def execute_point(point: RunPoint,
-                  with_digest: bool = False) -> Dict[str, object]:
-    """Simulate one point and return its serialized payload.
+class PointTimeout(RuntimeError):
+    """A run point exceeded its wall-clock budget inside a worker."""
 
-    Runs in worker processes; must stay importable at module top level
-    (``ProcessPoolExecutor`` pickles the function reference, not the
-    closure).  ``with_digest`` additionally runs the PR-1 tracer and
-    embeds the sha256 trace digest, so equivalence tests can compare
-    event-level behaviour across worker layouts, not just aggregates.
-    """
+
+def _simulate_point(point: RunPoint,
+                    with_digest: bool = False) -> Dict[str, object]:
     tracer = None
     if with_digest:
         from repro.obs.tracer import Tracer
@@ -253,6 +278,48 @@ def execute_point(point: RunPoint,
     return payload
 
 
+def execute_point(
+    point: RunPoint,
+    with_digest: bool = False,
+    timeout_s: Optional[float] = None,
+) -> Dict[str, object]:
+    """Simulate one point and return its serialized payload.
+
+    Runs in worker processes; must stay importable at module top level
+    (``ProcessPoolExecutor`` pickles the function reference, not the
+    closure).  ``with_digest`` additionally runs the PR-1 tracer and
+    embeds the sha256 trace digest, so equivalence tests can compare
+    event-level behaviour across worker layouts, not just aggregates.
+
+    ``timeout_s`` arms a ``SIGALRM`` wall-clock budget *inside* this
+    process and raises :class:`PointTimeout` when it expires.  Pool
+    futures cannot be cancelled once running, so the interrupt has to
+    come from within the worker; the simulator is pure Python, so the
+    signal lands between bytecodes and unwinds cleanly.  On platforms
+    or threads where ``SIGALRM`` is unavailable the point simply runs
+    unbudgeted.
+    """
+    if timeout_s is None:
+        return _simulate_point(point, with_digest)
+
+    def _expired(signum: int, frame: object) -> None:
+        raise PointTimeout(
+            f"{point.label}: exceeded the {timeout_s:g}s point budget"
+        )
+
+    try:
+        previous = signal.signal(signal.SIGALRM, _expired)
+    except (ValueError, AttributeError):
+        # Not the main thread, or no SIGALRM on this platform.
+        return _simulate_point(point, with_digest)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return _simulate_point(point, with_digest)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 @dataclass
 class SweepResult:
     """Payloads plus execution accounting for one sweep invocation."""
@@ -265,6 +332,11 @@ class SweepResult:
     workers: int = 1
     wall_s: float = 0.0
     store_root: Optional[str] = None
+    #: Points that failed even after the bounded retry, keyed to the
+    #: final failure reason (``"ExcType: message"``).
+    failed: Dict[RunPoint, str] = field(default_factory=dict)
+    #: Second attempts performed (at most one per point).
+    retried: int = 0
 
     @property
     def total(self) -> int:
@@ -282,6 +354,28 @@ class SweepResult:
         }
 
 
+class SweepFailure(RuntimeError):
+    """One or more sweep points failed even after the bounded retry.
+
+    Carries the full :class:`SweepResult` (``.sweep_result``) so callers
+    can still report the accounting for the points that did complete.
+    """
+
+    def __init__(self, sweep_result: SweepResult) -> None:
+        self.sweep_result = sweep_result
+        lines = [
+            f"{len(sweep_result.failed)} sweep point(s) failed "
+            f"after retry:"
+        ]
+        for point, reason in sweep_result.failed.items():
+            lines.append(f"  {point.label}: {reason}")
+        super().__init__("\n".join(lines))
+
+
+def _failure_reason(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
 def run_sweep(
     points: Iterable[RunPoint],
     workers: Optional[int] = None,
@@ -289,6 +383,7 @@ def run_sweep(
     resume: bool = True,
     with_digest: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    timeout_s: Optional[float] = None,
 ) -> SweepResult:
     """Execute every point, in parallel, resuming from the store.
 
@@ -296,12 +391,21 @@ def run_sweep(
     entries.  ``workers`` defaults to ``DORAM_SWEEP_WORKERS`` or the
     CPU count; ``workers <= 1`` runs serially in-process, which the
     equivalence tests use as the reference execution.
+
+    ``timeout_s`` bounds each point's wall clock (see
+    :func:`execute_point`).  A point that times out or raises gets
+    exactly one more attempt; if that also fails, the sweep *keeps
+    going* and records the point in :attr:`SweepResult.failed` instead
+    of hanging or tearing down the pool -- the caller decides whether a
+    partial sweep is fatal.
     """
     points = dedup_points(points)
     if workers is None:
         workers = default_workers()
     started = time.monotonic()
     payloads: Dict[RunPoint, Dict[str, object]] = {}
+    failed: Dict[RunPoint, str] = {}
+    retried = 0
     keys = {point: point.key(with_digest) for point in points}
 
     todo: List[RunPoint] = []
@@ -316,19 +420,38 @@ def run_sweep(
     if progress and hits:
         progress(f"store: {hits}/{len(points)} points already simulated")
 
+    def _record(point: RunPoint, payload: Dict[str, object]) -> None:
+        payloads[point] = payload
+        if store is not None:
+            store.put(keys[point], payload)
+
     if todo:
         if workers <= 1 or len(todo) == 1:
             for i, point in enumerate(todo):
                 if progress:
                     progress(f"run {i + 1}/{len(todo)}: {point.label}")
-                payload = execute_point(point, with_digest)
-                payloads[point] = payload
-                if store is not None:
-                    store.put(keys[point], payload)
+                try:
+                    payload = execute_point(point, with_digest, timeout_s)
+                except Exception as exc:  # noqa: BLE001 - retry once
+                    retried += 1
+                    if progress:
+                        progress(
+                            f"retry {point.label}: {_failure_reason(exc)}"
+                        )
+                    try:
+                        payload = execute_point(
+                            point, with_digest, timeout_s
+                        )
+                    except Exception as exc2:  # noqa: BLE001
+                        failed[point] = _failure_reason(exc2)
+                        continue
+                _record(point, payload)
         else:
+            attempts = {point: 1 for point in todo}
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
-                    pool.submit(execute_point, point, with_digest): point
+                    pool.submit(execute_point, point, with_digest,
+                                timeout_s): point
                     for point in todo
                 }
                 pending = set(futures)
@@ -338,10 +461,42 @@ def run_sweep(
                                          return_when=FIRST_COMPLETED)
                     for future in done:
                         point = futures[future]
-                        payload = future.result()
-                        payloads[point] = payload
-                        if store is not None:
-                            store.put(keys[point], payload)
+                        try:
+                            payload = future.result()
+                        except Exception as exc:  # noqa: BLE001
+                            if attempts[point] <= 1:
+                                attempts[point] += 1
+                                retried += 1
+                                if progress:
+                                    progress(
+                                        f"retry {point.label}: "
+                                        f"{_failure_reason(exc)}"
+                                    )
+                                try:
+                                    retry = pool.submit(
+                                        execute_point, point,
+                                        with_digest, timeout_s,
+                                    )
+                                except Exception as submit_exc:  # noqa: BLE001
+                                    # Pool already broken: record and
+                                    # keep draining what is left.
+                                    failed[point] = _failure_reason(
+                                        submit_exc
+                                    )
+                                else:
+                                    futures[retry] = point
+                                    pending.add(retry)
+                                    continue
+                            else:
+                                failed[point] = _failure_reason(exc)
+                            done_count += 1
+                            if progress:
+                                progress(
+                                    f"failed {done_count}/{len(todo)}: "
+                                    f"{point.label}: {failed[point]}"
+                                )
+                            continue
+                        _record(point, payload)
                         done_count += 1
                         if progress:
                             progress(
@@ -351,9 +506,11 @@ def run_sweep(
 
     return SweepResult(
         payloads=payloads,
-        simulated=len(todo),
+        simulated=len(todo) - len(failed),
         store_hits=hits,
         workers=workers,
         wall_s=time.monotonic() - started,
         store_root=store.root if store is not None else None,
+        failed=failed,
+        retried=retried,
     )

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from repro.bob.link import LinkParams, SerialLink
+from repro.bob.link import LinkParams, SerialLink, _ARRIVAL_TIME
 from repro.dram.channel import Channel
 from repro.dram.commands import MemRequest, OpType, TrafficClass
 from repro.sim.engine import Engine
@@ -49,6 +49,17 @@ class _NormalOp:
         self.on_complete = on_complete
         #: True while a read still owes its data packet on the up link.
         self.awaiting_data = is_read
+
+    def fault_mark_corrupt(self) -> bool:
+        """Forward a DRAM read flip to whoever verifies the data.
+
+        Normal traffic carries no MAC, so the mark only sticks when the
+        final consumer is itself fault-aware (e.g. the failover engine's
+        :class:`~repro.core.recovery.GuardedRead`); otherwise the flip
+        is silently unprotected, which the injector counts.
+        """
+        mark = getattr(self.on_complete, "fault_mark_corrupt", None)
+        return mark() if mark is not None else False
 
     def __call__(self, time: int) -> None:
         bob = self.bob
@@ -168,13 +179,13 @@ class BobChannel:
     # Raw packet pipes (secure packets, cross-channel ORAM messages)
     # ------------------------------------------------------------------
     def send_down(self, nbytes: int, deliver: Callable[[int], None],
-                  tag: str = "raw") -> int:
+                  tag: str = "raw", arg: object = _ARRIVAL_TIME) -> int:
         """Ship an opaque packet CPU -> simple controller."""
         self.stats.counter("raw_down").add()
-        return self.down.send(nbytes, deliver, tag=tag)
+        return self.down.send(nbytes, deliver, tag=tag, arg=arg)
 
     def send_up(self, nbytes: int, deliver: Callable[[int], None],
-                tag: str = "raw") -> int:
+                tag: str = "raw", arg: object = _ARRIVAL_TIME) -> int:
         """Ship an opaque packet simple controller -> CPU."""
         self.stats.counter("raw_up").add()
-        return self.up.send(nbytes, deliver, tag=tag)
+        return self.up.send(nbytes, deliver, tag=tag, arg=arg)

@@ -65,6 +65,13 @@ class SerialLink:
         self._ser_cache: Dict[int, int] = {}
         self._packets = self.stats.counter("packets")
         self._bytes = self.stats.counter("bytes")
+        #: Fault-injection site (``repro.faults``); ``None`` keeps the
+        #: send path on its zero-overhead fast branch.
+        self._faults = None
+
+    def arm_faults(self, site) -> None:
+        """Attach a :class:`~repro.faults.inject.LinkFaultSite`."""
+        self._faults = site
 
     def send(self, nbytes: int, deliver: Callable[[object], None],
              tag: str = "pkt", arg: object = _ARRIVAL_TIME) -> int:
@@ -84,6 +91,8 @@ class SerialLink:
         if ser is None:
             ser = self._ser_cache[nbytes] = self.params.serialization(nbytes)
         now = self.engine.now
+        if self._faults is not None:
+            return self._send_faulty(nbytes, deliver, tag, arg, ser, now)
         start = self._busy_until
         if now > start:
             start = now
@@ -107,6 +116,43 @@ class SerialLink:
         seq = engine._seq
         engine._seq = seq + 1
         engine._push((arrive, seq, deliver, arrive if arg is _ARRIVAL_TIME else arg))
+        return arrive
+
+    def _send_faulty(self, nbytes: int, deliver, tag: str, arg,
+                     ser: int, now: int) -> int:
+        """:meth:`send` with the injection site consulted per packet.
+
+        A ``delay`` hit stalls the wire (this packet and, via
+        ``_busy_until``, everything behind it); ``corrupt`` marks the
+        fault-aware payload; ``drop`` emits the packet on the wire (the
+        trace event -- an observer still sees it) but never delivers it,
+        leaving recovery to the sender's deadline.
+        """
+        start = self._busy_until
+        if now > start:
+            start = now
+        extra, dropped = self._faults.on_packet(tag, deliver, arg)
+        if extra:
+            start += extra
+        busy = start + ser
+        self._busy_until = busy
+        arrive = busy + self._latency
+        self._packets.value += 1
+        self._bytes.value += nbytes
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.complete(
+                "link", tag, self.name, start, ser,
+                {"bytes": nbytes, "sent": now, "arrive": arrive},
+            )
+        if not dropped:
+            engine = self.engine
+            seq = engine._seq
+            engine._seq = seq + 1
+            engine._push(
+                (arrive, seq, deliver,
+                 arrive if arg is _ARRIVAL_TIME else arg)
+            )
         return arrive
 
     def queue_delay(self) -> int:

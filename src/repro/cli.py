@@ -9,7 +9,12 @@ Subcommands
                      fig9, fig10, fig11, fig12, fig13, or ``all``)
 ``profile BENCH``    print the T25mix/T33 profiling decision for a benchmark
 ``perf SCHEME``      cProfile one scheme run and print the hottest functions
+``faults``           arm a fault plan and run the invariant harness
 ``schemes``          list the recognized scheme names
+
+Every subcommand validates its scheme/benchmark/plan arguments *before*
+simulating and exits with status 2 and a one-line actionable error on
+stderr -- a typo should fail in milliseconds, not after a sweep.
 """
 
 from __future__ import annotations
@@ -17,12 +22,64 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import experiments
 from repro.analysis.profiling import profile_ratio
-from repro.core.schemes import SCHEMES, run_scheme
-from repro.trace.benchmarks import BENCHMARKS
+from repro.core.schemes import SCHEMES, make_config, run_scheme
+from repro.trace.benchmarks import BENCHMARKS, benchmark_by_code
+
+
+def _fail(message: str) -> int:
+    """One-line actionable error on stderr, exit status 2."""
+    print(f"doram: error: {message}", file=sys.stderr)
+    return 2
+
+
+def _validate_point(
+    scheme: Optional[str],
+    benchmark: Optional[str],
+    trace_length: Optional[int],
+) -> Optional[str]:
+    """Resolve the full config up front; an error string, or ``None``.
+
+    ``make_config`` runs every :class:`SystemConfig` consistency check
+    (scheme grammar, k-split vs placement, c-limit range, ...), so a bad
+    ``doram+9/99`` fails here instead of mid-build.
+    """
+    if trace_length is not None and trace_length <= 0:
+        return f"--trace-length must be positive (got {trace_length})"
+    if benchmark is not None:
+        try:
+            benchmark_by_code(benchmark)
+        except KeyError as exc:
+            return str(exc.args[0])
+    if scheme is not None:
+        try:
+            make_config(
+                scheme, benchmark or "libq",
+                trace_length or experiments.DEFAULT_TRACE_LENGTH,
+            )
+        except ValueError as exc:
+            return str(exc)
+    return None
+
+
+def _parse_benchmarks(
+    arg: str,
+) -> Tuple[Optional[List[str]], Optional[str]]:
+    """``--benchmarks`` flag -> (codes or None, error string or None)."""
+    if not arg:
+        return None, None
+    codes = [code.strip() for code in arg.split(",") if code.strip()]
+    if not codes:
+        return None, "--benchmarks lists no benchmark codes"
+    for code in codes:
+        try:
+            benchmark_by_code(code)
+        except KeyError as exc:
+            return None, str(exc.args[0])
+    return codes, None
 
 
 def _format_table(headers: List[str], rows: List[List[str]]) -> str:
@@ -51,11 +108,24 @@ def _print_keyed(title: str, data: Dict[str, Dict[str, object]]) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    error = _validate_point(args.scheme, args.benchmark, args.trace_length)
+    if error:
+        return _fail(error)
+    faults = None
+    if args.faults:
+        from repro.faults import FaultController, FaultPlan, FaultPlanError
+
+        try:
+            plan = FaultPlan.from_file(args.faults)
+        except FaultPlanError as exc:
+            return _fail(str(exc))
+        faults = FaultController(plan)
     if args.sched:
         os.environ["DORAM_SCHED"] = args.sched
     if args.periodic:
         os.environ["DORAM_PERIODIC"] = args.periodic
-    result = run_scheme(args.scheme, args.benchmark, args.trace_length)
+    result = run_scheme(args.scheme, args.benchmark, args.trace_length,
+                        faults=faults)
     print(f"scheme={args.scheme} benchmark={args.benchmark} "
           f"trace={args.trace_length}")
     print(f"  NS mean execution time : {result.ns_mean_ns():,.0f} ns")
@@ -72,6 +142,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"  simulated {result.end_time / 16 / 1000:.1f} us, "
           f"{result.events:,} events "
           f"({result.raw_events:,} dispatched, {elided:,} synthesized)")
+    if result.fault_summary:
+        for section, counters in sorted(result.fault_summary.items()):
+            if counters:
+                print(f"  {section}: " + ", ".join(
+                    f"{key}={value:g}"
+                    for key, value in sorted(counters.items())
+                ))
     return 0
 
 
@@ -84,14 +161,17 @@ def cmd_trace(args: argparse.Namespace) -> int:
         write_jsonl,
     )
 
+    error = _validate_point(args.scheme, args.benchmark, args.trace_length)
+    if error:
+        return _fail(error)
     if args.categories:
         categories = frozenset(args.categories.split(","))
         unknown = categories - ALL_CATEGORIES
         if unknown:
-            print(f"unknown trace categories: {', '.join(sorted(unknown))} "
-                  f"(known: {', '.join(sorted(ALL_CATEGORIES))})",
-                  file=sys.stderr)
-            return 2
+            return _fail(
+                f"unknown trace categories: {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(ALL_CATEGORIES))})"
+            )
     else:
         categories = None  # DEFAULT_CATEGORIES
     tracer = Tracer(categories=categories)
@@ -117,6 +197,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
+    error = _validate_point(None, args.benchmark, args.trace_length)
+    if error:
+        return _fail(error)
     profile = profile_ratio(args.benchmark, trace_length=args.trace_length)
     print(f"benchmark={args.benchmark}")
     print(f"  solo latency   : {profile.latency_solo_ns:.1f} ns")
@@ -142,6 +225,9 @@ def cmd_perf(args: argparse.Namespace) -> int:
     import cProfile
     import pstats
 
+    error = _validate_point(args.scheme, args.benchmark, args.trace_length)
+    if error:
+        return _fail(error)
     profiler = cProfile.Profile()
     profiler.enable()
     result = run_scheme(args.scheme, args.benchmark, args.trace_length)
@@ -191,7 +277,10 @@ def _print_experiment(name: str, output) -> None:
 
 def cmd_exp(args: argparse.Namespace) -> int:
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
-    benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+    benchmarks, error = _parse_benchmarks(args.benchmarks)
+    error = error or _validate_point(None, None, args.trace_length)
+    if error:
+        return _fail(error)
     length = args.trace_length
     for name in names:
         output = experiments.FIGURE_DRIVERS[name](benchmarks, length)
@@ -199,9 +288,23 @@ def cmd_exp(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_sweep_summary(sweep, store) -> None:
+    retried = f" retried={sweep.retried}" if sweep.retried else ""
+    print(f"sweep: {sweep.total} points "
+          f"({sweep.simulated} simulated, {sweep.store_hits} from store) "
+          f"workers={sweep.workers} wall={sweep.wall_s:.2f}s "
+          f"({sweep.points_per_s:.2f} points/s){retried}")
+    if store is not None:
+        print(f"store: {store.root} ({len(store)} entries)")
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Parallel, resumable regeneration of one or more figures."""
-    from repro.analysis.sweep import ResultStore, default_workers
+    from repro.analysis.sweep import (
+        ResultStore,
+        SweepFailure,
+        default_workers,
+    )
 
     if args.figures == "all":
         names = _EXPERIMENTS
@@ -209,35 +312,78 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         names = tuple(name.strip() for name in args.figures.split(","))
         unknown = set(names) - set(_EXPERIMENTS)
         if unknown:
-            print(f"unknown figures: {', '.join(sorted(unknown))} "
-                  f"(known: {', '.join(_EXPERIMENTS)})", file=sys.stderr)
-            return 2
-    benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+            return _fail(
+                f"unknown figures: {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(_EXPERIMENTS)})"
+            )
+    benchmarks, error = _parse_benchmarks(args.benchmarks)
+    error = error or _validate_point(None, None, args.trace_length)
+    if error is None and args.timeout < 0:
+        error = f"--timeout must be >= 0 (got {args.timeout:g})"
+    if error:
+        return _fail(error)
     workers = args.workers if args.workers else default_workers()
     store = ResultStore(args.store) if args.store != "none" else None
     progress = (lambda msg: print(f"  {msg}", flush=True)) \
         if args.verbose else None
 
-    outputs, sweep = experiments.run_figures(
-        names, benchmarks, args.trace_length,
-        workers=workers, store=store, resume=not args.no_resume,
-        progress=progress,
-    )
-    print(f"sweep: {sweep.total} points "
-          f"({sweep.simulated} simulated, {sweep.store_hits} from store) "
-          f"workers={sweep.workers} wall={sweep.wall_s:.2f}s "
-          f"({sweep.points_per_s:.2f} points/s)")
-    if store is not None:
-        print(f"store: {store.root} ({len(store)} entries)")
+    try:
+        outputs, sweep = experiments.run_figures(
+            names, benchmarks, args.trace_length,
+            workers=workers, store=store, resume=not args.no_resume,
+            progress=progress, timeout_s=args.timeout or None,
+        )
+    except SweepFailure as failure:
+        sweep = failure.sweep_result
+        _print_sweep_summary(sweep, store)
+        print(f"sweep: {len(sweep.failed)} point(s) FAILED after retry:",
+              file=sys.stderr)
+        for point, reason in sweep.failed.items():
+            print(f"  {point.label}: {reason}", file=sys.stderr)
+        return 1
+    _print_sweep_summary(sweep, store)
     for name in names:
         _print_experiment(name, outputs[name])
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Arm a fault plan and audit the end-to-end invariants."""
+    from repro.faults import FaultPlan, FaultPlanError
+
+    try:
+        plan = FaultPlan.from_file(args.plan)
+    except FaultPlanError as exc:
+        return _fail(str(exc))
+    if args.seed is not None:
+        plan = plan.reseeded(args.seed)
+    error = _validate_point(args.scheme, args.benchmark, args.trace_length)
+    if error:
+        return _fail(error)
+
+    print(f"plan {args.plan}:")
+    for line in plan.describe():
+        print(f"  {line}")
+    if args.dry_run:
+        return 0
+
+    from repro.faults.invariants import check_fault_invariants
+
+    report = check_fault_invariants(
+        plan, scheme=args.scheme, benchmark=args.benchmark,
+        trace_length=args.trace_length,
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import generate_report
 
-    benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+    benchmarks, error = _parse_benchmarks(args.benchmarks)
+    error = error or _validate_point(None, None, args.trace_length)
+    if error:
+        return _fail(error)
     text = generate_report(benchmarks, args.trace_length)
     if args.output:
         with open(args.output, "w") as fp:
@@ -273,6 +419,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--periodic", choices=("lazy", "eager"), default="",
                        help="periodic-stream mode (DORAM_PERIODIC); eager "
                             "dispatches every occurrence, the census oracle")
+    p_run.add_argument("--faults", default="",
+                       help="arm a fault-plan JSON file "
+                            "(see 'doram faults --dry-run')")
     p_run.set_defaults(func=cmd_run)
 
     p_trace = sub.add_parser(
@@ -317,6 +466,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "'none' disables the store)")
     p_sweep.add_argument("--no-resume", action="store_true",
                          help="re-simulate every point even if stored")
+    p_sweep.add_argument("--timeout", type=float, default=0.0,
+                         help="per-point wall-clock budget in seconds; a "
+                              "point that exceeds it is retried once, then "
+                              "reported as failed (0 disables)")
     p_sweep.add_argument("--verbose", action="store_true",
                          help="print per-point progress")
     p_sweep.set_defaults(func=cmd_sweep)
@@ -341,6 +494,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--output", default="",
                         help="also dump raw pstats data to this path")
     p_perf.set_defaults(func=cmd_perf)
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="arm a fault plan and run the end-to-end invariant harness",
+    )
+    p_faults.add_argument("--plan", required=True,
+                          help="fault-plan JSON file (see examples/faults/)")
+    p_faults.add_argument("--scheme", default="doram")
+    p_faults.add_argument("--benchmark", default="libq")
+    p_faults.add_argument("--trace-length", type=int, default=300)
+    p_faults.add_argument("--seed", type=int, default=None,
+                          help="override the plan's seed (same schedule "
+                               "shape, different draws)")
+    p_faults.add_argument("--dry-run", action="store_true",
+                          help="print the resolved plan without simulating")
+    p_faults.set_defaults(func=cmd_faults)
 
     p_schemes = sub.add_parser("schemes", help="list schemes/benchmarks")
     p_schemes.set_defaults(func=cmd_schemes)

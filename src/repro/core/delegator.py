@@ -24,6 +24,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.bob.channel import BobChannel
 from repro.core.config import PACKET_BYTES, SHORT_PACKET_BYTES
+from repro.core.recovery import FaultRecoveryError, Frame, GuardedRead
 from repro.dram.channel import Channel
 from repro.dram.commands import MemRequest, OpType, TrafficClass
 from repro.obs.tracer import NULL_TRACER
@@ -103,6 +104,147 @@ class OramSequencer:
             self._start(controller, block_id, respond)
 
 
+class _SdResponder:
+    """One armed request's SD-side lifecycle: submit, then respond.
+
+    Mirrors the disarmed path exactly -- the submit closure in
+    :meth:`SecureDelegator.receive_request` and the response send in
+    ``_DelegatorOp`` stage 1 -- while recording the per-session
+    completed-sequence state the retransmission protocol needs.
+    """
+
+    __slots__ = ("delegator", "session", "seq", "block_id")
+
+    def __init__(self, delegator: "SecureDelegator", session, seq: int,
+                 block_id: Optional[int]) -> None:
+        self.delegator = delegator
+        self.session = session
+        self.seq = seq
+        self.block_id = block_id
+
+    def start(self) -> None:
+        """Processing delay elapsed: queue the access on the sequencer."""
+        self.delegator.sequencer.submit(
+            self.block_id, self, self.session.controller
+        )
+
+    def __call__(self, _time: int) -> None:
+        """Read phase finished: cache completion, respond up the link."""
+        delegator = self.delegator
+        state = delegator._session_state(self.session)
+        state["done_seq"] = self.seq
+        state["active_seq"] = 0
+        delegator._send_frame(
+            Frame(Frame.RESP, self.seq, self.block_id, 0, self.session)
+        )
+
+
+class _RemoteOp:
+    """Fault-aware split-tree message chain (armed runs only).
+
+    Stage-for-stage identical to the closure chain
+    (``_forward_read`` / ``_return_read`` / ``_forward_write``), plus
+    end-to-end integrity: any hop may mark the op corrupt (a ``remote``
+    link packet fault or a DRAM read flip), and the MAC check where the
+    block is consumed re-runs the whole message sequence, bounded by
+    ``remote_retries``.  Packet drops are not absorbable here -- there
+    is no per-hop ack to recover them -- so the injector counts them as
+    uninjectable and delivers normally.
+    """
+
+    __slots__ = ("delegator", "bob", "placement", "op", "on_complete",
+                 "stage", "corrupt", "attempts", "limit")
+
+    def __init__(self, delegator: "SecureDelegator", bob: BobChannel,
+                 placement: BlockPlacement, op: OpType,
+                 on_complete: Callable[[int], None], limit: int) -> None:
+        self.delegator = delegator
+        self.bob = bob
+        self.placement = placement
+        self.op = op
+        self.on_complete = on_complete
+        self.stage = 0
+        self.corrupt = False
+        self.attempts = 1
+        self.limit = limit
+
+    def link_fault(self, kind: str) -> bool:
+        if kind == "corrupt":
+            self.corrupt = True
+            return True
+        return False
+
+    def fault_mark_corrupt(self) -> bool:
+        self.corrupt = True
+        return True
+
+    def _restart(self) -> None:
+        delegator = self.delegator
+        self.attempts += 1
+        if self.attempts > self.limit:
+            raise FaultRecoveryError(
+                f"remote {self.op.name.lower()} chain corrupted "
+                f"{self.limit} times; retry bound exhausted"
+            )
+        self.corrupt = False
+        self.stage = 0
+        delegator._faults.count("remote_retries")
+        delegator._faults.trace(
+            "remote_retry", delegator.name,
+            {"op": self.op.name.lower(), "attempt": self.attempts},
+        )
+        size = (SHORT_PACKET_BYTES if self.op is OpType.READ
+                else PACKET_BYTES)
+        delegator.secure_bob.send_up(size, self, tag="remote")
+
+    def __call__(self, time: int) -> None:
+        delegator = self.delegator
+        stage = self.stage
+        if self.op is OpType.READ:
+            if stage == 0:
+                # Short read arrived at the CPU: forward down the
+                # target normal link.
+                self.stage = 1
+                self.bob.send_down(SHORT_PACKET_BYTES, self, tag="remote")
+            elif stage == 1:
+                self.stage = 2
+                delegator._remote_dram(
+                    self.bob, self.placement, OpType.READ, self
+                )
+            elif stage == 2:
+                # DRAM read done: 72 B block back up the normal link.
+                self.stage = 3
+                self.bob.send_up(PACKET_BYTES, self, tag="remote")
+            elif stage == 3:
+                self.stage = 4
+                delegator.secure_bob.send_down(
+                    PACKET_BYTES, self, tag="remote"
+                )
+            else:
+                # Block reached the SD: MAC check is the integrity
+                # gate for the whole chain.
+                if self.corrupt:
+                    self._restart()
+                    return
+                delegator._remote_done(self.on_complete, time)
+        else:
+            if stage == 0:
+                self.stage = 1
+                self.bob.send_down(PACKET_BYTES, self, tag="remote")
+            elif stage == 1:
+                # Block reached the target controller: verified before
+                # it is committed to the tree.
+                if self.corrupt:
+                    self._restart()
+                    return
+                self.stage = 2
+                delegator._remote_dram(
+                    self.bob, self.placement, OpType.WRITE, self
+                )
+            else:
+                delegator._remote_done(self.on_complete, time)
+
+
 class DelegatorSink(BlockSink):
     """Routes path blocks: local sub-channels direct, remote via messages."""
 
@@ -160,6 +302,126 @@ class SecureDelegator:
         #: Pending read batches per channel: [(placement, cb), ...].
         self._merge_buffers: Dict[int, List] = {}
         self._merge_flush_scheduled = False
+        #: Recovery-protocol state, populated by :meth:`arm_recovery`.
+        self._recovery = None
+        self._faults = None
+        self._sd_site = None
+        self._frame_state: Dict[object, Dict[str, object]] = {}
+        self._stall_buffer: Deque = deque()
+        self._stall_wake_scheduled = False
+
+    # ------------------------------------------------------------------
+    # Recovery protocol (armed only when a fault plan is attached)
+    # ------------------------------------------------------------------
+    def arm_recovery(self, faults) -> None:
+        """Enable the frame endpoint (``repro.core.recovery`` protocol).
+
+        ``faults`` is the run's :class:`~repro.faults.inject.FaultController`;
+        its delegator site (if any) supplies stall windows and the crash
+        point.  With recovery armed but no faults firing, the frame path
+        is schedule-identical to :meth:`receive_request`.
+        """
+        self._recovery = faults.recovery
+        self._faults = faults
+        self._sd_site = faults.sd_site()
+
+    def receive_frame(self, frame) -> None:
+        """Down-link delivery target for recovery-protocol frames."""
+        site = self._sd_site
+        if site is not None:
+            verdict = site.blocked(self.engine.now)
+            if verdict is not None:
+                kind, until = verdict
+                if kind == "crash":
+                    # A dead SD: the frame vanishes; the CPU deadline
+                    # and watchdog take it from here.
+                    self._faults.count("sd_crash_drops")
+                    self._faults.trace("sd_crash_drop", self.name, {})
+                    return
+                # Stalled: intake freezes; buffered frames drain in
+                # arrival order when the window closes.
+                self._faults.count("sd_stall_holds")
+                self._stall_buffer.append(frame)
+                if not self._stall_wake_scheduled:
+                    self._stall_wake_scheduled = True
+                    self.engine.at(until, self._drain_stalled)
+                return
+        self._process_frame(frame)
+
+    def _drain_stalled(self) -> None:
+        self._stall_wake_scheduled = False
+        buffered, self._stall_buffer = self._stall_buffer, deque()
+        for frame in buffered:
+            # Re-check: the next window (or the crash) may already rule.
+            self.receive_frame(frame)
+
+    def _session_state(self, session) -> Dict[str, object]:
+        state = self._frame_state.get(session)
+        if state is None:
+            state = self._frame_state[session] = {
+                "done_seq": 0, "active_seq": 0, "done_resp": None,
+            }
+        return state
+
+    def _process_frame(self, frame) -> None:
+        session = frame.session
+        state = self._session_state(session)
+        if frame.corrupt:
+            # MAC verification failed: answer with a NAK after the
+            # usual decrypt/verify processing delay.
+            self._faults.count("sd_mac_failures")
+            self._faults.trace("sd_mac_fail", self.name,
+                               {"seq": frame.seq})
+            self.engine.after(
+                self.process_ticks,
+                lambda: self._send_frame(
+                    Frame(Frame.NAK, 0, None, 0, session)
+                ),
+            )
+            return
+        if frame.kind != Frame.REQ:
+            self._faults.count("sd_unexpected_frames")
+            return
+        if frame.seq == state["done_seq"]:
+            # Retransmission of a completed request (our response was
+            # lost or garbled): replay the cached response, don't re-run
+            # the ORAM access.
+            self._faults.count("sd_duplicate_requests")
+            self.engine.after(
+                self.process_ticks,
+                lambda: self._send_frame(
+                    Frame(Frame.RESP, frame.seq, frame.block_id, 0, session)
+                ),
+            )
+            return
+        if frame.seq == state["active_seq"]:
+            # Retransmission of the request we are already serving; the
+            # response under way will answer it.
+            self._faults.count("sd_duplicate_inflight")
+            return
+        state["active_seq"] = frame.seq
+        self.stats.counter("requests").add()
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "sd", "request", self.name, self.engine.now,
+                {
+                    "real": int(frame.block_id is not None),
+                    "queued": int(self.sequencer.busy),
+                },
+            )
+        responder = _SdResponder(self, session, frame.seq, frame.block_id)
+        # Decrypt + authenticate + position-map consultation (same delay
+        # and event shape as receive_request).
+        self.engine.after(self.process_ticks, responder.start)
+
+    def _send_frame(self, frame) -> None:
+        """Ship one response/NAK frame up the secure link (if alive)."""
+        if self._sd_site is not None and self._sd_site.crashed(self.engine.now):
+            self._faults.count("sd_crash_drops")
+            return
+        self.secure_bob.send_up(
+            PACKET_BYTES, frame.session._frame_arrived, arg=frame
+        )
 
     # ------------------------------------------------------------------
     # Request entry (packets from the processor)
@@ -206,13 +468,23 @@ class SecureDelegator:
         sub = self.secure_bob.subchannels[placement.subchannel]
         if not sub.can_accept(op):
             return False
-        sub.enqueue(
-            MemRequest(
-                op, placement.channel, placement.subchannel,
-                placement.bank, placement.row, placement.col,
-                self.app_id, TrafficClass.SECURE, 0, on_complete,
-            )
+        if self._recovery is not None and op is OpType.READ:
+            # The SD MAC-checks every path block it reads; a transient
+            # flip re-issues the block while the sequencer's read phase
+            # stays open (GuardedRead holds the completion back).
+            guard = GuardedRead(on_complete, self._faults,
+                                self._recovery.block_read_retries)
+            on_complete = guard
+        req = MemRequest(
+            op, placement.channel, placement.subchannel,
+            placement.bank, placement.row, placement.col,
+            self.app_id, TrafficClass.SECURE, 0, on_complete,
         )
+        if on_complete.__class__ is GuardedRead:
+            on_complete.reissue = (
+                lambda s=sub, r=req: self._enqueue_or_hold(s, r)
+            )
+        sub.enqueue(req)
         return True
 
     # ------------------------------------------------------------------
@@ -250,6 +522,16 @@ class SecureDelegator:
                     self.engine.after(0, self._flush_merged)
                 return True
             self.stats.counter("remote_short_reads").add()
+            if self._recovery is not None:
+                # Armed: the chain is an inspectable op object so link
+                # and DRAM faults can mark it and retries are bounded.
+                self.secure_bob.send_up(
+                    SHORT_PACKET_BYTES,
+                    _RemoteOp(self, bob, placement, OpType.READ,
+                              on_complete, self._recovery.remote_retries),
+                    tag="remote",
+                )
+                return True
             # SD -> CPU (short read, up the secure link) ...
             self.secure_bob.send_up(
                 SHORT_PACKET_BYTES,
@@ -259,6 +541,14 @@ class SecureDelegator:
         else:
             self.stats.counter("remote_writes").add()
             self.stats.counter(f"ch{placement.channel}_writes").add()
+            if self._recovery is not None:
+                self.secure_bob.send_up(
+                    PACKET_BYTES,
+                    _RemoteOp(self, bob, placement, OpType.WRITE,
+                              on_complete, self._recovery.remote_retries),
+                    tag="remote",
+                )
+                return True
             # SD -> CPU (72 B write packet carrying the block) ...
             self.secure_bob.send_up(
                 PACKET_BYTES,

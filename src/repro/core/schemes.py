@@ -111,14 +111,16 @@ def run_scheme(
     max_events: Optional[int] = None,
     tracer=None,
     snapshot_interval_ns: Optional[float] = None,
+    faults=None,
     **overrides,
 ) -> SimResult:
     """Build and simulate one named scheme.
 
-    ``tracer`` / ``snapshot_interval_ns`` are forwarded to
+    ``tracer`` / ``snapshot_interval_ns`` / ``faults`` are forwarded to
     :func:`build_and_run`; all other keyword ``overrides`` go to
     :class:`SystemConfig`.
     """
     config = make_config(scheme, benchmark, trace_length, **overrides)
     return build_and_run(config, max_events=max_events, tracer=tracer,
-                         snapshot_interval_ns=snapshot_interval_ns)
+                         snapshot_interval_ns=snapshot_interval_ns,
+                         faults=faults)

@@ -11,8 +11,9 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, Tuple
 
+from repro.core.recovery import GuardedRead
 from repro.dram.channel import Channel
 from repro.dram.commands import MemRequest, OpType, TrafficClass
 from repro.oram.controller import BlockSink
@@ -23,9 +24,13 @@ class DirectChannelSink(BlockSink):
     """Issues ORAM blocks into directly attached DRAM channels."""
 
     def __init__(self, channels: Dict[Tuple[int, int], Channel],
-                 app_id: int) -> None:
+                 app_id: int, faults=None, retry_limit: int = 16) -> None:
         self.channels = channels
         self.app_id = app_id
+        #: Fault controller (``repro.faults``); ``None`` keeps the issue
+        #: path free of per-request guard objects.
+        self.faults = faults
+        self.retry_limit = retry_limit
 
     def try_issue(
         self,
@@ -37,14 +42,30 @@ class DirectChannelSink(BlockSink):
         channel = self.channels[key]
         if not channel.can_accept(op):
             return False
-        channel.enqueue(
-            MemRequest(
-                op, placement.channel, placement.subchannel,
-                placement.bank, placement.row, placement.col,
-                self.app_id, TrafficClass.SECURE, 0, on_complete,
-            )
+        if self.faults is not None and op is OpType.READ:
+            # MAC verification on the fetched bucket: a transient flip
+            # re-reads the same block before the read phase completes.
+            guard = GuardedRead(on_complete, self.faults, self.retry_limit)
+            on_complete = guard
+        req = MemRequest(
+            op, placement.channel, placement.subchannel,
+            placement.bank, placement.row, placement.col,
+            self.app_id, TrafficClass.SECURE, 0, on_complete,
         )
+        if on_complete.__class__ is GuardedRead:
+            on_complete.reissue = (
+                lambda c=channel, r=req: self._reissue(c, r)
+            )
+        channel.enqueue(req)
         return True
+
+    def _reissue(self, channel: Channel, req: MemRequest) -> None:
+        if channel.can_accept(req.op):
+            channel.enqueue(req)
+        else:
+            channel.notify_on_space(
+                lambda c=channel, r=req: self._reissue(c, r)
+            )
 
     def notify_on_space(self, callback: Callable[[], None]) -> None:
         fired = [False]

@@ -17,6 +17,11 @@ from repro.core.channel_sharing import sharing_targets
 from repro.core.config import SystemConfig
 from repro.core.delegator import OramSequencer, SecureDelegator
 from repro.core.frontend import DelegatorBackend, OnChipBackend, OramFrontend
+from repro.core.recovery import (
+    BobChannelSink,
+    FailoverBackend,
+    SecureLinkSession,
+)
 from repro.core.sinks import DirectChannelSink
 from repro.cpu.core import Core, MemoryPort
 from repro.dram.address_mapping import (
@@ -246,6 +251,13 @@ class SimResult:
     #: :meth:`to_json_dict` so serialized results stay identical across
     #: periodic modes.
     raw_events: int = field(default=0, compare=False)
+    #: Fault-injection and recovery counters (``FaultController.summary``)
+    #: when the run had a fault plan attached; ``None`` otherwise.
+    #: Excluded from equality and serialization so armed-but-empty runs
+    #: stay byte-identical to plain runs in the sweep store.
+    fault_summary: Optional[Dict[str, Dict[str, float]]] = field(
+        default=None, compare=False
+    )
 
     # -- headline metrics -------------------------------------------------
     def ns_mean_time(self) -> float:
@@ -325,7 +337,8 @@ def _ns_allowed_channels(config: SystemConfig, app: int) -> Tuple[int, ...]:
 def build_and_run(config: SystemConfig,
                   max_events: Optional[int] = None,
                   tracer=None,
-                  snapshot_interval_ns: Optional[float] = None) -> SimResult:
+                  snapshot_interval_ns: Optional[float] = None,
+                  faults=None) -> SimResult:
     """Instantiate the configured system, simulate, and measure.
 
     ``tracer`` (a :class:`repro.obs.Tracer`) turns on event tracing in
@@ -333,8 +346,16 @@ def build_and_run(config: SystemConfig,
     samples per-channel occupancy/utilization (and the ORAM frontend
     backlog) on that period, into both the tracer (counter events) and
     :attr:`SimResult.snapshots`.
+
+    ``faults`` (a :class:`repro.faults.FaultController`, single-run)
+    arms the fault-injection sites and the secure-link recovery
+    protocol.  A controller whose plan is empty leaves the run
+    bit-identical to ``faults=None`` (same trace digest, same
+    serialized result) -- the recovery framing is schedule-neutral.
     """
     engine = Engine(tracer=tracer)
+    if faults is not None:
+        faults.bind(engine, tracer)
     geometry = DeviceGeometry()
     secure_share = SharePolicy(
         {
@@ -379,6 +400,22 @@ def build_and_run(config: SystemConfig,
             bobs[ch] = BobChannel(engine, ch, subs, config.link_params,
                                   tracer=tracer)
 
+    if faults is not None:
+        for key in sorted(channels):
+            channel = channels[key]
+            site = faults.dram_site(channel.name)
+            if site is not None:
+                channel.arm_faults(site)
+            if faults.capture_commands:
+                faults.command_logs[channel.name] = \
+                    channel.start_command_log()
+        for ch in sorted(bobs):
+            bob = bobs[ch]
+            for link in (bob.down, bob.up):
+                site = faults.link_site(link.name)
+                if site is not None:
+                    link.arm_faults(site)
+
     # -- NS-App ports -------------------------------------------------------
     ns_ports: Dict[int, MemoryPort] = {}
     for app in range(config.num_ns_apps):
@@ -398,6 +435,9 @@ def build_and_run(config: SystemConfig,
     s_ports: List[MemoryPort] = []
     frontends: List[OramFrontend] = []
     controllers: List[OramController] = []
+    #: Host-side engines built on demand by secure-link failover; empty
+    #: unless a fault plan actually killed the delegator.
+    fallback_controllers: List[OramController] = []
     delegator: Optional[SecureDelegator] = None
     s_app_id = config.num_ns_apps  # first S-App id
 
@@ -410,7 +450,13 @@ def build_and_run(config: SystemConfig,
                     home_targets=[(ch, 0) for ch in range(config.num_channels)],
                     geometry=geometry,
                 )
-                sink = DirectChannelSink(channels, app_id=s_app_id)
+                if faults is not None:
+                    sink = DirectChannelSink(
+                        channels, app_id=s_app_id, faults=faults,
+                        retry_limit=faults.recovery.block_read_retries,
+                    )
+                else:
+                    sink = DirectChannelSink(channels, app_id=s_app_id)
                 controller = OramController(engine, ocfg, layout, sink,
                                             seed=config.seed,
                                             fork_path=config.fork_path,
@@ -470,14 +516,49 @@ def build_and_run(config: SystemConfig,
                     )
                     controllers.append(ctrl)
                 delegator.sequencer = OramSequencer(controllers[0])
+                if faults is not None:
+                    delegator.arm_recovery(faults)
                 for s_index, ctrl in enumerate(controllers):
-                    backend = DelegatorBackend(
-                        engine, secure_bob, delegator, controller=ctrl
-                    )
+                    session = None
+                    if faults is not None:
+                        # Recovery-protocol endpoint; the fallback (a
+                        # host-side Path ORAM over the normal BOB path)
+                        # is only built if the watchdog ever fires, so
+                        # a fault-free run allocates nothing extra.
+                        def _make_fallback(ctrl=ctrl, s_index=s_index):
+                            fb_sink = BobChannelSink(
+                                bobs, app_id=s_app_id, faults=faults,
+                                retry_limit=(
+                                    faults.recovery.block_read_retries
+                                ),
+                            )
+                            fb_ctrl = OramController(
+                                engine, ctrl.config, ctrl.layout, fb_sink,
+                                seed=config.seed + 31 * s_index,
+                                name=f"oram{s_index}.fb",
+                                fork_path=config.fork_path,
+                                tracer=tracer,
+                            )
+                            fallback_controllers.append(fb_ctrl)
+                            return OnChipBackend(engine, fb_ctrl)
+
+                        session = SecureLinkSession(
+                            engine, secure_bob, delegator, ctrl,
+                            faults.recovery, faults,
+                            fallback_factory=_make_fallback,
+                            name=f"sdlink{s_index}",
+                        )
+                        backend = FailoverBackend(session)
+                    else:
+                        backend = DelegatorBackend(
+                            engine, secure_bob, delegator, controller=ctrl
+                        )
                     frontend = OramFrontend(
                         engine, backend, t_cycles=config.t_cycles,
                         name=f"oram_fe{s_index}", tracer=tracer,
                     )
+                    if session is not None:
+                        session.bind_pacer(frontend.pacer)
                     frontend.start()
                     frontends.append(frontend)
                     s_ports.append(frontend)
@@ -631,6 +712,8 @@ def build_and_run(config: SystemConfig,
         component_stats[frontend.name] = frontend.stats.as_dict()
     for controller in controllers:
         component_stats[controller.name] = controller.stats.as_dict()
+    for controller in fallback_controllers:
+        component_stats[controller.name] = controller.stats.as_dict()
     if delegator is not None:
         component_stats["delegator"] = delegator.stats.as_dict()
     if s_cores:
@@ -653,4 +736,5 @@ def build_and_run(config: SystemConfig,
         snapshots=sampler.rows if sampler is not None else [],
         component_stats=component_stats,
         raw_events=engine.raw_events_dispatched,
+        fault_summary=faults.summary() if faults is not None else None,
     )

@@ -58,6 +58,16 @@ class RequestPacer:
         self.stream.occurrences += 1
         self.stats.counter("real" if real else "dummy").add()
 
+    def retransmitted(self) -> None:
+        """Account one retransmission riding a fixed-rate slot.
+
+        A retransmitted secure-link frame replaces what would otherwise
+        be a dummy emission, so it joins the occurrence census without
+        counting as a real or dummy request.
+        """
+        self.stream.occurrences += 1
+        self.stats.counter("retransmit").add()
+
     def real_fraction(self) -> float:
         real = self.stats.counter("real").value
         total = real + self.stats.counter("dummy").value

@@ -67,6 +67,9 @@ class Channel:
         #: Optional protocol-compliance log of ``DramCommand`` entries;
         #: enabled via :meth:`start_command_log`.
         self.command_log = None
+        #: Fault-injection site (``repro.faults``); ``None`` keeps the
+        #: service loop on its zero-overhead fast branch.
+        self._faults = None
         self.rank = RankTimers(timing)
         self.banks: List[Bank] = [
             Bank(timing, self.rank) for _ in range(params.num_banks)
@@ -188,6 +191,10 @@ class Channel:
     def notify_on_space(self, callback: Callable[[], None]) -> None:
         """One-shot callback fired the next time any queue entry drains."""
         self._space_waiters.append(callback)
+
+    def arm_faults(self, site) -> None:
+        """Attach a :class:`~repro.faults.inject.DramFaultSite`."""
+        self._faults = site
 
     def start_command_log(self) -> list:
         """Record every implied DRAM command (PRE/ACT/RD/WR/REF) from now
@@ -391,6 +398,10 @@ class Channel:
         # still), so the past-schedule guards cannot fire.
         on_complete = req.on_complete
         if on_complete is not None:
+            if self._faults is not None and not is_write:
+                # Transient flip of this read's data burst: marks the
+                # completion's owner (who MAC-verifies) before it fires.
+                self._faults.maybe_flip(on_complete)
             seq = engine._seq
             engine._seq = seq + 1
             engine._push((finish, seq, on_complete, finish))

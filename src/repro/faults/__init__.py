@@ -1,0 +1,34 @@
+"""Deterministic fault injection and recovery (the robustness layer).
+
+* :mod:`repro.faults.plan` -- the seeded, declarative :class:`FaultPlan`
+  DSL (what may go wrong, when, and the recovery constants).
+* :mod:`repro.faults.inject` -- :class:`FaultController`, binding a plan
+  to one run's injection sites (links, DRAM channels, the delegator).
+* :mod:`repro.faults.invariants` -- the end-to-end harness asserting
+  that any bounded fault schedule terminates, preserves read-your-writes
+  durability and the stash bound, and keeps the DRAM protocol referee
+  and the link-discipline audit green.  (Imported explicitly, not here:
+  it pulls in the whole system builder.)
+* :mod:`repro.faults.resilient` -- the functional Path ORAM durability
+  model (MAC-detected transient flips + bounded re-read).
+"""
+
+from repro.faults.inject import FaultController
+from repro.faults.plan import (
+    DelegatorFault,
+    DramFault,
+    FaultPlan,
+    FaultPlanError,
+    LinkFault,
+    RecoveryParams,
+)
+
+__all__ = [
+    "FaultController",
+    "FaultPlan",
+    "FaultPlanError",
+    "LinkFault",
+    "DramFault",
+    "DelegatorFault",
+    "RecoveryParams",
+]

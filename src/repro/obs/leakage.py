@@ -112,3 +112,67 @@ def check_fixed_rate(
                 f"(t={t_cycles} cycles + {cpu_process_ns} ns processing)"
             )
     return violations
+
+
+def check_recovery_discipline(
+    events: Sequence[TraceEvent],
+    secure_channel: int = 0,
+    t_cycles: int = 50,
+    cpu_process_ns: float = 2.0,
+    deadline_ns: float = 5000.0,
+    packet_bytes: Optional[int] = None,
+) -> List[str]:
+    """The fixed-rate argument extended to the recovery protocol.
+
+    With retransmission armed (:mod:`repro.core.recovery`) the strict
+    alternation of :func:`check_fixed_rate` no longer holds -- a dropped
+    response leaves a request unanswered, and a retransmission re-uses
+    the slot a dummy would have occupied.  What *must* still hold for
+    the link to leak nothing beyond the observable wire itself:
+
+    1. every raw packet in either direction is exactly ``packet_bytes``;
+    2. every request's send time is a deterministic function of
+       observable wire events: ``sent == 0`` (the initial emission),
+       ``sent == some up-packet arrival + (cpu_process + t)`` (the
+       pacer's slot after any response/NAK/garbled frame), or ``sent ==
+       some earlier request's send + deadline`` (the deadline
+       retransmission rule).
+
+    The stream falling silent (after a failover to the host-side
+    engine) is allowed -- silence follows ``watchdog_misses`` deadline
+    slots, itself a wire-deterministic event.  Returns violation
+    strings; empty means the discipline holds.
+    """
+    if packet_bytes is None:
+        from repro.core.config import PACKET_BYTES
+        packet_bytes = PACKET_BYTES
+
+    down, up = secure_link_packets(events, secure_channel)
+    violations: List[str] = []
+    if not down:
+        return [f"no secure-engine packets on bob{secure_channel}.down"]
+
+    for label, stream in (("request", down), ("response", up)):
+        for i, event in enumerate(stream):
+            nbytes = event.args.get("bytes")
+            if nbytes != packet_bytes:
+                violations.append(
+                    f"{label} {i}: {nbytes} B on the wire, expected "
+                    f"{packet_bytes} B"
+                )
+
+    slot_gap = cpu_cycles(t_cycles) + ns(cpu_process_ns)
+    deadline_ticks = ns(deadline_ns)
+    slot_times = {e.args["arrive"] + slot_gap for e in up}
+    sent_times = [e.args["sent"] for e in down]
+    deadline_times = {sent + deadline_ticks for sent in sent_times}
+    for i, sent in enumerate(sent_times):
+        if sent == 0 or sent in slot_times or sent in deadline_times:
+            continue
+        violations.append(
+            f"request {i} sent at {sent}: not the initial emission, not "
+            f"an up-arrival + {slot_gap} slot, and not a prior send + "
+            f"{deadline_ticks} deadline -- the send schedule is not a "
+            f"function of the observable wire"
+        )
+    return violations

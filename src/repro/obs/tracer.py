@@ -28,6 +28,7 @@ Categories
 ``link``    serial-link packet send/receive
 ``oram``    ORAM frontend emission + path read/writeback phases
 ``sd``      secure-delegator state transitions and remote messages
+``fault``   fault injections and recovery actions (``repro.faults``)
 ``stats``   periodic :class:`~repro.sim.stats.StatSet` snapshots
 """
 
@@ -39,13 +40,13 @@ Number = Union[int, float]
 
 #: Every category a component may emit into.
 ALL_CATEGORIES = frozenset(
-    {"engine", "dram", "link", "oram", "sd", "stats"}
+    {"engine", "dram", "link", "oram", "sd", "fault", "stats"}
 )
 
 #: Default capture set: everything except per-dispatch engine events,
 #: which dwarf the rest of the trace (one event per simulator callback).
 DEFAULT_CATEGORIES = frozenset(
-    {"dram", "link", "oram", "sd", "stats"}
+    {"dram", "link", "oram", "sd", "fault", "stats"}
 )
 
 #: Chrome trace_event phase codes used here: instant, complete, counter.

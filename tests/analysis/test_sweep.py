@@ -122,7 +122,7 @@ class TestResume:
         real = sweep_mod.execute_point
         monkeypatch.setattr(
             sweep_mod, "execute_point",
-            lambda point, with_digest=False: (
+            lambda point, with_digest=False, timeout_s=None: (
                 executed.append(point), real(point, with_digest)
             )[1],
         )

@@ -1,0 +1,77 @@
+"""check_recovery_discipline: the retry schedule stays wire-deterministic.
+
+The recovery protocol's security argument (DESIGN.md section 10): every
+CPU->SD send time is a function of the *observable wire* -- the initial
+emission, an up-packet arrival plus the fixed pacer slot, or a prior
+send plus the fixed deadline.  These tests run the check against real
+armed traces (clean, faulted, failed-over) and then perturb a trace to
+prove the check rejects schedules that are not wire-deterministic.
+"""
+
+from repro.faults import (
+    DelegatorFault,
+    FaultController,
+    FaultPlan,
+    LinkFault,
+    RecoveryParams,
+)
+from repro.obs.golden import run_traced
+from repro.obs.leakage import check_recovery_discipline, secure_link_packets
+
+
+def _armed_trace(plan):
+    result, tracer = run_traced("doram", faults=FaultController(plan))
+    return result, tracer.events
+
+
+class TestCleanRuns:
+    def test_empty_plan_trace_passes(self):
+        _result, events = _armed_trace(FaultPlan())
+        assert check_recovery_discipline(events) == []
+
+    def test_retransmissions_still_pass(self):
+        """A dropped response forces a deadline retransmission; that is
+        exactly the schedule rule, so the check must stay green."""
+        plan = FaultPlan(link=(
+            LinkFault(kind="drop", link="bob0.up", tag="raw",
+                      packets=(3,)),
+        ))
+        result, events = _armed_trace(plan)
+        assert result.fault_summary["sdlink0"]["retransmissions"] >= 1
+        assert check_recovery_discipline(
+            events, deadline_ns=plan.recovery.deadline_ns
+        ) == []
+
+    def test_silence_after_failover_passes(self):
+        plan = FaultPlan(
+            delegator=(DelegatorFault(kind="crash", start_ns=3000.0),),
+            recovery=RecoveryParams(deadline_ns=1500.0, watchdog_misses=2),
+        )
+        result, events = _armed_trace(plan)
+        assert result.fault_summary["faults"]["failovers"] == 1
+        assert check_recovery_discipline(
+            events, deadline_ns=plan.recovery.deadline_ns
+        ) == []
+
+
+class TestTeeth:
+    def test_perturbed_send_time_is_flagged(self):
+        """Nudge one request's send time off its slot: no longer a
+        function of the wire, so the check must flag it."""
+        _result, events = _armed_trace(FaultPlan())
+        down, _up = secure_link_packets(events)
+        victim = down[2]
+        victim.args["sent"] += 7
+        violations = check_recovery_discipline(events)
+        assert violations
+        assert "request 2" in violations[0]
+
+    def test_wrong_packet_size_is_flagged(self):
+        _result, events = _armed_trace(FaultPlan())
+        down, _up = secure_link_packets(events)
+        down[0].args["bytes"] = 73
+        violations = check_recovery_discipline(events)
+        assert any("73 B" in v for v in violations)
+
+    def test_missing_stream_is_flagged(self):
+        assert check_recovery_discipline([]) != []

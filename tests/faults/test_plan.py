@@ -1,0 +1,156 @@
+"""FaultPlan DSL: validation, JSON round-trips, deterministic streams."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    DelegatorFault,
+    DramFault,
+    FaultPlan,
+    FaultPlanError,
+    LinkFault,
+    RecoveryParams,
+)
+from repro.faults.plan import site_rng
+from repro.sim.engine import ns
+
+
+class TestValidation:
+    def test_unknown_link_kind(self):
+        with pytest.raises(FaultPlanError):
+            LinkFault(kind="melt")
+
+    def test_rate_must_be_probability(self):
+        with pytest.raises(FaultPlanError):
+            LinkFault(rate=1.0)
+        with pytest.raises(FaultPlanError):
+            DramFault(rate=-0.1)
+
+    def test_delay_needs_positive_delay(self):
+        with pytest.raises(FaultPlanError):
+            LinkFault(kind="delay", delay_ns=0.0)
+
+    def test_window_must_be_ordered(self):
+        with pytest.raises(FaultPlanError):
+            LinkFault(start_ns=100.0, stop_ns=100.0)
+        with pytest.raises(FaultPlanError):
+            DramFault(start_ns=5.0, stop_ns=1.0)
+
+    def test_stall_needs_duration(self):
+        with pytest.raises(FaultPlanError):
+            DelegatorFault(kind="stall", duration_ns=0.0)
+
+    def test_at_most_one_crash(self):
+        crash = DelegatorFault(kind="crash", start_ns=10.0)
+        with pytest.raises(FaultPlanError):
+            FaultPlan(delegator=(crash, crash))
+
+    def test_recovery_bounds(self):
+        with pytest.raises(FaultPlanError):
+            RecoveryParams(deadline_ns=0.0)
+        with pytest.raises(FaultPlanError):
+            RecoveryParams(watchdog_misses=0)
+        with pytest.raises(FaultPlanError):
+            RecoveryParams(max_attempts=1)
+
+    def test_unknown_top_level_keys_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json_dict({"seed": 1, "links": []})
+
+    def test_unknown_rule_field_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json_dict({"link": [{"kindd": "drop"}]})
+
+
+class TestRoundTrip:
+    def _plan(self):
+        return FaultPlan(
+            seed=7,
+            link=(
+                LinkFault(kind="corrupt", link="bob0.down", tag="raw",
+                          packets=(2, 5)),
+                LinkFault(kind="delay", link="bob*.up", rate=0.01,
+                          delay_ns=40.0, start_ns=100.0, stop_ns=900.0),
+            ),
+            dram=(DramFault(channel="ch0*", rate=0.02),),
+            delegator=(DelegatorFault(kind="stall", start_ns=50.0,
+                                      duration_ns=25.0),),
+            recovery=RecoveryParams(deadline_ns=1500.0, watchdog_misses=2),
+        )
+
+    def test_json_dict_round_trip(self):
+        plan = self._plan()
+        assert FaultPlan.from_json_dict(plan.to_json_dict()) == plan
+
+    def test_json_bytes_round_trip(self, tmp_path):
+        plan = self._plan()
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_json_dict()))
+        assert FaultPlan.from_file(str(path)) == plan
+
+    def test_from_file_errors_are_plan_errors(self, tmp_path):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_file(str(tmp_path / "missing.json"))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_file(str(bad))
+
+    def test_reseeded_keeps_rules(self):
+        plan = self._plan()
+        other = plan.reseeded(99)
+        assert other.seed == 99
+        assert other.link == plan.link
+        assert other.dram == plan.dram
+        assert other.delegator == plan.delegator
+        assert other.recovery == plan.recovery
+
+
+class TestSchedule:
+    def test_empty_plan_is_empty(self):
+        assert FaultPlan().is_empty
+        assert not FaultPlan(dram=(DramFault(rate=0.1),)).is_empty
+
+    def test_crash_tick(self):
+        plan = FaultPlan(
+            delegator=(DelegatorFault(kind="crash", start_ns=3.0),)
+        )
+        assert plan.crash_tick() == ns(3.0)
+        assert FaultPlan().crash_tick() is None
+
+    def test_stall_windows_merge_overlaps(self):
+        plan = FaultPlan(delegator=(
+            DelegatorFault(kind="stall", start_ns=10.0, duration_ns=10.0),
+            DelegatorFault(kind="stall", start_ns=15.0, duration_ns=10.0),
+            DelegatorFault(kind="stall", start_ns=100.0, duration_ns=5.0),
+        ))
+        assert plan.stall_windows() == [
+            (ns(10.0), ns(25.0)), (ns(100.0), ns(105.0)),
+        ]
+
+    def test_describe_mentions_every_rule(self):
+        plan = FaultPlan(
+            link=(LinkFault(kind="drop", link="bob0.up", packets=(3,)),),
+            dram=(DramFault(channel="ch1*", rate=0.5e-1),),
+            delegator=(DelegatorFault(kind="crash", start_ns=2.0),),
+        )
+        text = "\n".join(plan.describe())
+        assert "bob0.up" in text
+        assert "ch1*" in text
+        assert "crash at 2" in text
+        assert "recovery:" in text
+
+
+class TestSiteRng:
+    def test_streams_are_deterministic(self):
+        a = [site_rng(1, "link", "bob0.down").random() for _ in range(3)]
+        b = [site_rng(1, "link", "bob0.down").random() for _ in range(3)]
+        assert a == b
+
+    def test_streams_are_independent_per_site(self):
+        down = site_rng(1, "link", "bob0.down").random()
+        up = site_rng(1, "link", "bob0.up").random()
+        other_seed = site_rng(2, "link", "bob0.down").random()
+        assert down != up
+        assert down != other_seed

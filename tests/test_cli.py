@@ -105,3 +105,125 @@ class TestExecution:
         assert main(["trace", "doram", "--trace-length", "300",
                      "--categories", "dram,nope"]) == 2
         assert "unknown trace categories" in capsys.readouterr().err
+
+
+class TestValidation:
+    """Every subcommand fails fast (exit 2, one-line stderr) on bad args."""
+
+    def test_run_rejects_unknown_scheme(self, capsys):
+        assert main(["run", "no-such-scheme"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("doram: error:")
+        assert "unknown scheme" in err
+        assert err.count("\n") == 1
+
+    def test_run_rejects_unknown_benchmark(self, capsys):
+        assert main(["run", "doram", "--benchmark", "zz"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_run_rejects_bad_trace_length(self, capsys):
+        assert main(["run", "doram", "--trace-length", "0"]) == 2
+        assert "--trace-length" in capsys.readouterr().err
+
+    def test_run_rejects_out_of_range_c_limit(self, capsys):
+        """doram/C validation happens before any simulation starts."""
+        assert main(["run", "doram/99"]) == 2
+        assert "c_limit" in capsys.readouterr().err
+
+    def test_exp_rejects_unknown_benchmark_code(self, capsys):
+        assert main(["exp", "fig9", "--benchmarks", "li,zz"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_figures(self, capsys):
+        assert main(["sweep", "--figures", "fig99"]) == 2
+        assert "unknown figures" in capsys.readouterr().err
+
+    def test_sweep_rejects_negative_timeout(self, capsys):
+        assert main(["sweep", "--figures", "fig9", "--timeout", "-1"]) == 2
+        assert "--timeout" in capsys.readouterr().err
+
+    def test_report_rejects_unknown_benchmark(self, capsys):
+        assert main(["report", "--benchmarks", "nope"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_faults_rejects_missing_plan_file(self, capsys, tmp_path):
+        missing = str(tmp_path / "nope.json")
+        assert main(["faults", "--plan", missing]) == 2
+        assert "cannot read fault plan" in capsys.readouterr().err
+
+    def test_faults_rejects_malformed_plan(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"link": [{"kind": "melt"}]}')
+        assert main(["faults", "--plan", str(bad)]) == 2
+        assert "unknown link fault kind" in capsys.readouterr().err
+
+
+class TestFaultsCommand:
+    def _plan_file(self, tmp_path, doc):
+        import json
+
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_dry_run_prints_resolved_schedule(self, capsys, tmp_path):
+        plan = self._plan_file(tmp_path, {
+            "seed": 5,
+            "link": [{"kind": "drop", "link": "bob0.up", "tag": "raw",
+                      "packets": [3]}],
+        })
+        assert main(["faults", "--plan", plan, "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "seed 5" in out
+        assert "bob0.up" in out
+        assert "recovery:" in out
+        assert "simulated" not in out  # dry run must not simulate
+
+    def test_full_run_reports_invariants_ok(self, capsys, tmp_path):
+        plan = self._plan_file(tmp_path, {
+            "link": [{"kind": "corrupt", "link": "bob0.down",
+                      "tag": "raw", "packets": [3]}],
+        })
+        assert main(["faults", "--plan", plan]) == 0
+        out = capsys.readouterr().out
+        assert "[OK]" in out
+        assert "link_corrupts=1" in out
+
+    def test_run_with_armed_plan_prints_fault_summary(
+        self, capsys, tmp_path
+    ):
+        plan = self._plan_file(tmp_path, {
+            "link": [{"kind": "drop", "link": "bob0.up", "tag": "raw",
+                      "packets": [3]}],
+        })
+        assert main(["run", "doram", "--trace-length", "300",
+                     "--faults", plan]) == 0
+        out = capsys.readouterr().out
+        assert "link_drops=1" in out
+        assert "sdlink0" in out
+
+    def test_faults_seed_override(self, capsys, tmp_path):
+        plan = self._plan_file(tmp_path, {"seed": 1})
+        assert main(["faults", "--plan", plan, "--seed", "42",
+                     "--dry-run"]) == 0
+        assert "seed 42" in capsys.readouterr().out
+
+
+class TestSweepFailureSurfacing:
+    def test_failed_points_exit_nonzero_with_reasons(
+        self, capsys, monkeypatch
+    ):
+        from repro.analysis import sweep as sweep_mod
+
+        def _always(point, with_digest=False):
+            raise RuntimeError("injected sweep failure")
+
+        monkeypatch.setattr(sweep_mod, "_simulate_point", _always)
+        code = main(["sweep", "--figures", "fig9", "--benchmarks", "li",
+                     "--trace-length", "100", "--workers", "1",
+                     "--store", "none"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "FAILED after retry" in captured.err
+        assert "injected sweep failure" in captured.err
+        assert "retried=" in captured.out
