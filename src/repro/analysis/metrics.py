@@ -1,10 +1,37 @@
-"""Summary metrics used by the result figures."""
+"""Summary metrics used by the result figures and the SLO reports."""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
-from repro.sim.stats import geomean
+from repro.sim.stats import Histogram, geomean
+
+#: The scenario layer's SLO quantiles (p50 / p99 / p999).
+SLO_QUANTILES: Tuple[float, ...] = (0.5, 0.99, 0.999)
+
+
+def quantile_label(q: float) -> str:
+    """``0.5 -> "p50"``, ``0.99 -> "p99"``, ``0.999 -> "p999"``."""
+    if not 0.0 < q < 1.0:
+        raise ValueError("quantile must be in (0, 1)")
+    return "p" + format(q * 100.0, "g").replace(".", "")
+
+
+def latency_quantiles_ns(
+    hist: Histogram,
+    ticks_per_ns: int,
+    quantiles: Sequence[float] = SLO_QUANTILES,
+) -> Dict[str, float]:
+    """SLO percentile summary of a tick-valued latency histogram.
+
+    Quantiles resolve to bucket lower edges (exact integers), converted
+    to nanoseconds -- deterministic floats, safe for canonical-JSON
+    reports.
+    """
+    return {
+        quantile_label(q): hist.quantile(q) / ticks_per_ns
+        for q in quantiles
+    }
 
 
 def slowdown(value: float, reference: float) -> float:

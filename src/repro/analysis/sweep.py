@@ -278,6 +278,20 @@ def _simulate_point(point: RunPoint,
     return payload
 
 
+def _run_point(point, with_digest: bool) -> Dict[str, object]:
+    """Dispatch one point to its simulator.
+
+    Points that carry their own ``execute`` method (the scenario layer's
+    ``ScenarioPoint``) run it; plain :class:`RunPoint` instances go
+    through the module-global :func:`_simulate_point`, which tests
+    monkeypatch -- the late global lookup is deliberate.
+    """
+    execute = getattr(point, "execute", None)
+    if execute is not None:
+        return execute(with_digest)
+    return _simulate_point(point, with_digest)
+
+
 def execute_point(
     point: RunPoint,
     with_digest: bool = False,
@@ -291,6 +305,10 @@ def execute_point(
     embeds the sha256 trace digest, so equivalence tests can compare
     event-level behaviour across worker layouts, not just aggregates.
 
+    ``point`` is usually a :class:`RunPoint`, but any object exposing
+    ``key``/``label``/``execute`` works (see :func:`_run_point`); the
+    sweep machinery -- store, retry, timeout -- is point-kind agnostic.
+
     ``timeout_s`` arms a ``SIGALRM`` wall-clock budget *inside* this
     process and raises :class:`PointTimeout` when it expires.  Pool
     futures cannot be cancelled once running, so the interrupt has to
@@ -300,7 +318,7 @@ def execute_point(
     unbudgeted.
     """
     if timeout_s is None:
-        return _simulate_point(point, with_digest)
+        return _run_point(point, with_digest)
 
     def _expired(signum: int, frame: object) -> None:
         raise PointTimeout(
@@ -311,10 +329,10 @@ def execute_point(
         previous = signal.signal(signal.SIGALRM, _expired)
     except (ValueError, AttributeError):
         # Not the main thread, or no SIGALRM on this platform.
-        return _simulate_point(point, with_digest)
+        return _run_point(point, with_digest)
     signal.setitimer(signal.ITIMER_REAL, timeout_s)
     try:
-        return _simulate_point(point, with_digest)
+        return _run_point(point, with_digest)
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)

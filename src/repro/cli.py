@@ -10,6 +10,8 @@ Subcommands
 ``profile BENCH``    print the T25mix/T33 profiling decision for a benchmark
 ``perf SCHEME``      cProfile one scheme run and print the hottest functions
 ``faults``           arm a fault plan and run the invariant harness
+``serve``            run the multi-tenant open-loop service scenario and
+                     print its per-tenant SLO report (or sweep a grid)
 ``schemes``          list the recognized scheme names
 
 Every subcommand validates its scheme/benchmark/plan arguments *before*
@@ -394,6 +396,90 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant open-loop service scenario (or a sweep)."""
+    import json as _json
+
+    from repro.scenarios import (
+        ARRIVAL_KINDS,
+        ScenarioConfig,
+        apply_overrides,
+        format_report,
+        run_scenario,
+        run_slo_sweep,
+        scenario_grid,
+        slo_rows,
+    )
+
+    if args.arrival not in ARRIVAL_KINDS:
+        return _fail(
+            f"unknown arrival kind {args.arrival!r} "
+            f"(known: {', '.join(ARRIVAL_KINDS)})"
+        )
+    if args.sched:
+        os.environ["DORAM_SCHED"] = args.sched
+    if args.periodic:
+        os.environ["DORAM_PERIODIC"] = args.periodic
+    overrides: Dict[str, object] = {
+        "num_tenants": args.tenants,
+        "arrival.kind": args.arrival,
+        "arrival.rate_rps": args.rate,
+        "horizon_ns": args.horizon_us * 1000.0,
+        "queue_cap": args.queue_cap,
+        "write_fraction": args.write_fraction,
+        "slo_target_ns": args.slo_target_ns,
+        "control_interval_ns": args.control_interval_us * 1000.0,
+        "oram.leaf_level": args.leaf_level,
+        "seed": args.seed,
+    }
+    try:
+        config = apply_overrides(ScenarioConfig(), overrides)
+    except (TypeError, ValueError) as exc:
+        return _fail(str(exc))
+
+    if args.sweep_tenants or args.sweep_rates:
+        from repro.analysis.sweep import ResultStore, default_workers
+
+        tenants = [int(v) for v in args.sweep_tenants.split(",") if v] \
+            or [args.tenants]
+        rates = [float(v) for v in args.sweep_rates.split(",") if v] \
+            or [args.rate]
+        base = {k: v for k, v in overrides.items()
+                if k not in ("num_tenants", "arrival.rate_rps")}
+        points = scenario_grid(tenants, rates, base)
+        store = ResultStore(args.store) if args.store != "none" else None
+        workers = args.workers if args.workers else default_workers()
+        sweep = run_slo_sweep(points, workers=workers, store=store)
+        _print_sweep_summary(sweep, store)
+        rows = slo_rows(sweep)
+        print(_format_table(
+            ["tenants", "rate_rps", "offered", "completed", "goodput",
+             "p50_ns", "p99_ns", "p999_ns"],
+            [[r["tenants"], f"{r['rate_rps']:g}", r["offered"],
+              r["completed"], f"{r['goodput_rps']:,.0f}",
+              f"{r['worst_p50_ns']:,.0f}", f"{r['worst_p99_ns']:,.0f}",
+              f"{r['worst_p999_ns']:,.0f}"] for r in rows],
+        ))
+        return 0
+
+    tracer = None
+    if args.digest:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    result = run_scenario(config, tracer=tracer)
+    print(format_report(result))
+    if tracer is not None:
+        from repro.obs import trace_digest
+
+        print(f"trace digest: {trace_digest(tracer.events)}")
+    if args.json:
+        with open(args.json, "w") as fp:
+            _json.dump(result.to_json_dict(), fp, sort_keys=True, indent=1)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def cmd_schemes(_args: argparse.Namespace) -> int:
     print("canonical schemes:", ", ".join(SCHEMES))
     print("parameterized    : doram+K, doram/C, doram+K/C")
@@ -510,6 +596,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--dry-run", action="store_true",
                           help="print the resolved plan without simulating")
     p_faults.set_defaults(func=cmd_faults)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant open-loop service scenario (SLO report)",
+    )
+    p_serve.add_argument("--tenants", type=int, default=8,
+                         help="concurrent S-App tenants (default 8)")
+    p_serve.add_argument("--arrival", default="poisson",
+                         help="arrival process: poisson, bursty, diurnal")
+    p_serve.add_argument("--rate", type=float, default=200_000.0,
+                         help="per-tenant mean arrival rate in req/s")
+    p_serve.add_argument("--horizon-us", type=float, default=100.0,
+                         help="offered-load window in microseconds")
+    p_serve.add_argument("--seed", type=int, default=1)
+    p_serve.add_argument("--queue-cap", type=int, default=64,
+                         help="per-tenant admission queue capacity")
+    p_serve.add_argument("--write-fraction", type=float, default=0.0)
+    p_serve.add_argument("--leaf-level", type=int, default=23,
+                         help="ORAM tree leaf level per tenant (default 23; "
+                              "use ~12 for quick smoke runs)")
+    p_serve.add_argument("--slo-target-ns", type=float, default=0.0,
+                         help="mean-sojourn SLO target; >0 arms the "
+                              "admission governor")
+    p_serve.add_argument("--control-interval-us", type=float, default=10.0,
+                         help="admission-governor cadence in microseconds")
+    p_serve.add_argument("--sched", choices=("heap", "wheel"), default="",
+                         help="scheduler backend (DORAM_SCHED)")
+    p_serve.add_argument("--periodic", choices=("lazy", "eager"), default="",
+                         help="periodic-stream mode (DORAM_PERIODIC)")
+    p_serve.add_argument("--digest", action="store_true",
+                         help="trace the run and print its event digest")
+    p_serve.add_argument("--json", default="",
+                         help="write the full SLO report JSON to this path")
+    p_serve.add_argument("--sweep-tenants", default="",
+                         help="comma-separated tenant counts; with "
+                              "--sweep-rates, runs a grid via the sweep "
+                              "runner instead of one scenario")
+    p_serve.add_argument("--sweep-rates", default="",
+                         help="comma-separated per-tenant rates (req/s)")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="sweep worker processes")
+    p_serve.add_argument("--store", default="none",
+                         help="sweep result-store directory "
+                              "(default: none = no store)")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_schemes = sub.add_parser("schemes", help="list schemes/benchmarks")
     p_schemes.set_defaults(func=cmd_schemes)

@@ -62,15 +62,25 @@ def recommend_c(ratio: float, num_ns_apps: int = 7) -> SharingDecision:
     """Apply the T25mix/T33 rule (Section V-C).
 
     ``ratio > 1``: the loaded secure channel is the bottleneck -- keep
-    most NS-Apps off it (small ``c``).  ``ratio < 1``: total bandwidth
-    dominates -- let most apps use all four channels (large ``c``).
+    most NS-Apps off it (small ``c``).  ``ratio <= 1``: total bandwidth
+    dominates -- let most apps use all four channels (large ``c``);
+    exactly 1 counts as large ("better to fully utilize all channels").
+
+    Boundary behaviour (pinned by ``tests/core/test_channel_sharing.py``):
+    the suggestion is always in ``[1, num_ns_apps]``, so it is directly
+    usable as an app count.  In the degenerate small populations
+    (``num_ns_apps <= 2``) the "large" branch suggests every app -- with
+    two or fewer apps there is nobody worth shedding -- instead of the
+    ``n - 2`` rule of thumb going nonpositive.
     """
     if ratio <= 0:
         raise ValueError("ratio must be positive")
+    if num_ns_apps < 1:
+        raise ValueError("num_ns_apps must be >= 1")
     if ratio > 1.0:
         category = "small"
-        suggested = min(1, num_ns_apps)
+        suggested = 1
     else:
         category = "large"
-        suggested = max(min(num_ns_apps - 2, num_ns_apps), 0)
+        suggested = num_ns_apps if num_ns_apps <= 2 else num_ns_apps - 2
     return SharingDecision(ratio=ratio, category=category, suggested_c=suggested)

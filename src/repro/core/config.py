@@ -140,6 +140,22 @@ class SystemConfig:
         return cls(**state)
 
     # ------------------------------------------------------------------
+    def secure_share_policy(self):
+        """The bandwidth-preallocation scheduler policy for channels that
+        carry both secure and normal traffic ([39]; Section IV).
+
+        Built here so every fabric builder (the trace-replay system and
+        the scenario service layer) derives it from the same
+        ``secure_share`` knob instead of re-encoding the split.
+        """
+        from repro.dram.scheduler import SharePolicy
+        from repro.dram.commands import TrafficClass
+
+        return SharePolicy({
+            TrafficClass.SECURE: self.secure_share,
+            TrafficClass.NORMAL: 1.0 - self.secure_share,
+        })
+
     @property
     def effective_s_apps(self) -> int:
         return self.num_s_apps if self.has_s_app else 0

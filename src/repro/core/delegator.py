@@ -62,6 +62,12 @@ class OramSequencer:
             or self.controller.busy
         )
 
+    @property
+    def pending(self) -> int:
+        """Accesses waiting on the single engine: the buffered FIFO plus
+        the one in service (the scenario sampler's queue-depth signal)."""
+        return len(self._buffered) + (1 if self.busy else 0)
+
     def submit(
         self,
         block_id: Optional[int],
@@ -309,6 +315,12 @@ class SecureDelegator:
         self._frame_state: Dict[object, Dict[str, object]] = {}
         self._stall_buffer: Deque = deque()
         self._stall_wake_scheduled = False
+
+    @property
+    def backlog(self) -> int:
+        """Accesses queued behind this SD's single ORAM engine."""
+        sequencer = self.sequencer
+        return sequencer.pending if sequencer is not None else 0
 
     # ------------------------------------------------------------------
     # Recovery protocol (armed only when a fault plan is attached)

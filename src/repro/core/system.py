@@ -323,6 +323,53 @@ class SimResult:
 # ---------------------------------------------------------------------------
 
 
+def build_bob_fabric(
+    engine: Engine,
+    *,
+    num_channels: int,
+    secure_channels: Tuple[int, ...],
+    secure_subchannels: int,
+    normal_subchannels: int,
+    dram_timing,
+    channel_params,
+    link_params,
+    secure_policy: Optional[SharePolicy] = None,
+    tracer=None,
+) -> Tuple[Dict[Tuple[int, int], Channel], Dict[int, BobChannel]]:
+    """Construct the BOB channel fabric: sub-channels plus serial links.
+
+    Shared by :func:`build_and_run` (one secure channel, the paper's
+    machine) and the scenario service layer (possibly several secure
+    channels hosting one delegator each).  Channels are created in
+    ``(channel, subchannel)`` order -- construction order is part of the
+    determinism contract, since engine sequence numbers follow it.
+
+    ``secure_policy`` is applied to every sub-channel of a secure
+    channel (the bandwidth-preallocation scheduler); ``None`` gives all
+    sub-channels the single-class policy.
+    """
+    channels: Dict[Tuple[int, int], Channel] = {}
+    bobs: Dict[int, BobChannel] = {}
+    secure_set = frozenset(secure_channels)
+    for ch in range(num_channels):
+        is_secure = ch in secure_set
+        nsub = secure_subchannels if is_secure else normal_subchannels
+        subs = []
+        for i in range(nsub):
+            policy = (
+                secure_policy if (is_secure and secure_policy is not None)
+                else SingleClassPolicy()
+            )
+            sub = Channel(
+                engine, f"ch{ch}.{i}", dram_timing, channel_params,
+                share_policy=policy, tracer=tracer,
+            )
+            subs.append(sub)
+            channels[(ch, i)] = sub
+        bobs[ch] = BobChannel(engine, ch, subs, link_params, tracer=tracer)
+    return channels, bobs
+
+
 def _ns_allowed_channels(config: SystemConfig, app: int) -> Tuple[int, ...]:
     """Channel set for NS-App ``app`` under the scheme's policies."""
     base = config.ns_channels or tuple(range(config.num_channels))
@@ -357,12 +404,7 @@ def build_and_run(config: SystemConfig,
     if faults is not None:
         faults.bind(engine, tracer)
     geometry = DeviceGeometry()
-    secure_share = SharePolicy(
-        {
-            TrafficClass.SECURE: config.secure_share,
-            TrafficClass.NORMAL: 1.0 - config.secure_share,
-        }
-    )
+    secure_share = config.secure_share_policy()
 
     channels: Dict[Tuple[int, int], Channel] = {}
     bobs: Dict[int, BobChannel] = {}
@@ -378,27 +420,18 @@ def build_and_run(config: SystemConfig,
                 share_policy=policy, tracer=tracer,
             )
     else:
-        for ch in range(config.num_channels):
-            is_secure = ch == config.secure_channel
-            nsub = (
-                config.secure_subchannels if is_secure
-                else config.normal_subchannels
-            )
-            subs = []
-            for i in range(nsub):
-                policy = (
-                    secure_share if (is_secure and oram_in_dram)
-                    else SingleClassPolicy()
-                )
-                sub = Channel(
-                    engine, f"ch{ch}.{i}", config.dram_timing,
-                    config.channel_params, share_policy=policy,
-                    tracer=tracer,
-                )
-                subs.append(sub)
-                channels[(ch, i)] = sub
-            bobs[ch] = BobChannel(engine, ch, subs, config.link_params,
-                                  tracer=tracer)
+        channels, bobs = build_bob_fabric(
+            engine,
+            num_channels=config.num_channels,
+            secure_channels=(config.secure_channel,),
+            secure_subchannels=config.secure_subchannels,
+            normal_subchannels=config.normal_subchannels,
+            dram_timing=config.dram_timing,
+            channel_params=config.channel_params,
+            link_params=config.link_params,
+            secure_policy=secure_share if oram_in_dram else None,
+            tracer=tracer,
+        )
 
     if faults is not None:
         for key in sorted(channels):

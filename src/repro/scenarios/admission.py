@@ -1,0 +1,128 @@
+"""Live admission control: the D-ORAM/c profiling rule as a governor.
+
+The paper applies ``recommend_c`` offline: profile the latency ratio on a
+spare trace segment, pick ``c`` once, run with it (Section V-C).  The
+service layer closes the loop instead.  Every ``interval`` ticks the
+governor computes, per secure channel, the mean request sojourn over the
+window just ended, forms the ratio against the operator's SLO target --
+the open-loop analogue of ``T25mix / T33`` (how much worse than
+acceptable is the loaded secure channel running?) -- and feeds it to
+:func:`repro.core.channel_sharing.recommend_c` with the channel's tenant
+count standing in for the NS-App population:
+
+* ratio <= 1 ("large" category): the channel meets its SLO; every tenant
+  admits.
+* ratio > 1 ("small" category): the channel is past its SLO; only the
+  suggested number of tenants (clamped to ``min_admitting``) keep
+  admitting, lowest tenant id first, and the rest shed arrivals until a
+  later window recovers.
+
+Decisions are deterministic functions of simulator state and are logged
+(tick, channel, ratio, category, admitting count) into the scenario
+report, so a sweep can show the policy engaging as load crosses the SLO.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.channel_sharing import recommend_c
+from repro.obs.tracer import NULL_TRACER
+from repro.scenarios.tenant import TenantSource
+from repro.sim.engine import Engine
+
+
+class AdmissionGovernor:
+    """Fixed-cadence, per-secure-channel admission control loop."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        groups: Dict[int, Sequence[TenantSource]],
+        interval: int,
+        slo_target_ticks: int,
+        min_admitting: int = 1,
+        tracer=None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("governor interval must be positive ticks")
+        if slo_target_ticks <= 0:
+            raise ValueError("slo target must be positive ticks")
+        self.engine = engine
+        self.groups = {
+            channel: list(tenants) for channel, tenants in groups.items()
+        }
+        self.interval = interval
+        self.slo_target = slo_target_ticks
+        self.min_admitting = min_admitting
+        self._tracer = (
+            tracer if tracer is not None else NULL_TRACER
+        ).category("sd")
+        #: One row per (tick, channel) decision, in decision order.
+        self.decisions: List[Dict[str, object]] = []
+        self._sheds = 0
+        self._stopped = False
+
+    def start(self) -> None:
+        self.engine.after(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """Stop rescheduling (drain epilogue: shedding would be unfair
+        to requests that arrived before the horizon)."""
+        self._stopped = True
+        for tenants in self.groups.values():
+            for tenant in tenants:
+                tenant.admitting = True
+
+    @property
+    def sheds(self) -> int:
+        """Total tenant-window shed decisions taken."""
+        return self._sheds
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        now = self.engine.now
+        for channel in sorted(self.groups):
+            tenants = self.groups[channel]
+            count = total = 0
+            for tenant in tenants:
+                t_count, t_total = tenant.take_window()
+                count += t_count
+                total += t_total
+            if count == 0:
+                # Quiet window: no evidence either way -- hold the
+                # previous admitting set, log the hold.
+                admitting = sum(1 for t in tenants if t.admitting)
+                self.decisions.append({
+                    "ts": now, "channel": channel, "ratio": None,
+                    "category": "hold", "admitting": admitting,
+                })
+                continue
+            # A window of zero-sojourn completions (all stores accepted
+            # instantly) yields ratio 0, which recommend_c rejects;
+            # clamp to a positive epsilon -- still firmly "large".
+            ratio = max((total / count) / self.slo_target, 1e-12)
+            decision = recommend_c(ratio, len(tenants))
+            if decision.category == "small":
+                allowed = max(self.min_admitting, decision.suggested_c)
+            else:
+                allowed = len(tenants)
+            allowed = min(allowed, len(tenants))
+            for index, tenant in enumerate(tenants):
+                admit = index < allowed
+                if tenant.admitting and not admit:
+                    self._sheds += 1
+                tenant.admitting = admit
+            self.decisions.append({
+                "ts": now, "channel": channel, "ratio": ratio,
+                "category": decision.category, "admitting": allowed,
+            })
+            tracer = self._tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "sd", "admission", f"governor.ch{channel}", now,
+                    {"ratio": ratio, "admitting": allowed},
+                )
+        self.engine.after(self.interval, self._tick)

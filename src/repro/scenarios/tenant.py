@@ -1,0 +1,277 @@
+"""Per-tenant open-loop source: arrivals -> admission -> ORAM frontend.
+
+One :class:`TenantSource` drives one S-App tenant.  It owns the tenant's
+arrival stream, admission queue, request-content RNG, SLO statistics, and
+two running sha256 digests:
+
+* the **functional digest** folds ``(seq, block_id, op)`` per completed
+  request -- *what* the tenant asked for and got back, independent of
+  timing.  Running tenant A alone or beside contending tenants must not
+  move it (the isolation regression).
+* the **timing digest** additionally folds arrival and completion ticks,
+  so any schedule change is observable per tenant.
+
+The source sits in front of the PR-era :class:`~repro.core.frontend.
+OramFrontend` (the fixed-rate emitter): admitted requests feed the
+frontend whenever it has space; reads complete at the ORAM response,
+writes complete at frontend acceptance (the ORAM write happens
+obliviously later), matching the paper's store semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.core.frontend import OramFrontend
+from repro.dram.commands import OpType
+from repro.obs.tracer import NULL_TRACER
+from repro.scenarios.arrivals import ArrivalStream
+from repro.scenarios.config import TenantFault
+from repro.sim.engine import Engine, ns
+from repro.sim.stats import StatSet
+
+#: Sojourn histogram resolution: 10 ns buckets keep p999 meaningful at
+#: microsecond-scale latencies without unbounded dense storage.
+SOJOURN_BUCKET_NS = 10
+
+
+class _TenantDone:
+    """Completion context for one admitted read (one allocation each)."""
+
+    __slots__ = ("tenant", "seq", "block_id", "arrival")
+
+    def __init__(self, tenant: "TenantSource", seq: int, block_id: int,
+                 arrival: int) -> None:
+        self.tenant = tenant
+        self.seq = seq
+        self.block_id = block_id
+        self.arrival = arrival
+
+    def __call__(self, time: int) -> None:
+        self.tenant._complete(self.seq, self.block_id, False, self.arrival,
+                              time)
+
+
+class TenantSource:
+    """Open-loop driver for one tenant."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        tenant_id: int,
+        frontend: OramFrontend,
+        arrivals: ArrivalStream,
+        *,
+        horizon: int,
+        queue_cap: int,
+        write_fraction: float = 0.0,
+        request_seed: int = 0,
+        fault: Optional[TenantFault] = None,
+        on_outstanding_change=None,
+        tracer=None,
+    ) -> None:
+        self.engine = engine
+        self.tenant_id = tenant_id
+        self.frontend = frontend
+        self.arrivals = arrivals
+        self.horizon = horizon
+        self.queue_cap = queue_cap
+        self.write_fraction = write_fraction
+        self.name = f"tenant{tenant_id}"
+        self.stats = StatSet(self.name)
+        self._tracer = (
+            tracer if tracer is not None else NULL_TRACER
+        ).category("sd")
+        #: Queued-but-not-yet-issued requests: (arrival_tick, seq).
+        self._queue: Deque[Tuple[int, int]] = deque()
+        self._next_seq = 0
+        #: Requests admitted but not yet completed (reads in flight plus
+        #: everything still queued); drain termination watches this.
+        self.outstanding = 0
+        self._on_outstanding_change = on_outstanding_change
+        #: Governor switch: when False, new arrivals are shed.
+        self.admitting = True
+        self._req_rng = random.Random(request_seed)
+        self._blocks = frontend.backend.num_user_blocks
+        self._fault = fault
+        self._fault_rng = (
+            random.Random(fault.seed) if fault is not None else None
+        )
+        self._fault_delay_ticks = (
+            ns(fault.delay_ns) if fault is not None else 0
+        )
+        # Pre-bound stats (the StatSet idiom: resolve names once).
+        self._offered = self.stats.counter("offered")
+        self._admitted = self.stats.counter("admitted")
+        self._rejected_overflow = self.stats.counter("rejected_overflow")
+        self._rejected_shed = self.stats.counter("rejected_shed")
+        self._rejected_fault = self.stats.counter("rejected_fault")
+        self._completed = self.stats.counter("completed")
+        self._writes = self.stats.counter("writes")
+        self.sojourn = self.stats.histogram(
+            "sojourn", bucket_width=ns(SOJOURN_BUCKET_NS)
+        )
+        self.sojourn_stat = self.stats.latency("sojourn_lat")
+        self._queue_depth = self.stats.histogram("queue_depth")
+        #: Windowed (count, total-ticks) pair the governor reads and
+        #: resets each control tick.
+        self.window_count = 0
+        self.window_total = 0
+        self._functional = hashlib.sha256()
+        self._timing = hashlib.sha256()
+        self._arrival_pending = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the first arrival (if any falls inside the horizon)."""
+        self._schedule_next_arrival()
+
+    def _schedule_next_arrival(self) -> None:
+        if self._arrival_pending:
+            return
+        due = self.arrivals.peek()
+        if due >= self.horizon:
+            return
+        self._arrival_pending = True
+        self.engine.at(due, self._arrival)
+
+    # ------------------------------------------------------------------
+    # Arrival / admission
+    # ------------------------------------------------------------------
+    def _arrival(self) -> None:
+        self._arrival_pending = False
+        now = self.arrivals.take()
+        assert now == self.engine.now
+        self._offered.add()
+        fault = self._fault
+        if (fault is not None and fault.kind == "drop"
+                and self._fault_rng.random() < fault.fraction):
+            self._rejected_fault.add()
+        elif not self.admitting:
+            self._rejected_shed.add()
+        elif len(self._queue) >= self.queue_cap:
+            self._rejected_overflow.add()
+        else:
+            seq = self._next_seq
+            self._next_seq = seq + 1
+            self._queue.append((now, seq))
+            self._admitted.add()
+            self.outstanding += 1
+            self._queue_depth.record(len(self._queue))
+            self._feed()
+        self._schedule_next_arrival()
+
+    # ------------------------------------------------------------------
+    # Feeding the fixed-rate frontend
+    # ------------------------------------------------------------------
+    def _feed(self) -> None:
+        frontend = self.frontend
+        while self._queue:
+            if not frontend.can_accept(OpType.READ):
+                frontend.notify_on_space(self._feed)
+                return
+            arrival, seq = self._queue.popleft()
+            is_write = (self.write_fraction > 0.0
+                        and self._req_rng.random() < self.write_fraction)
+            block_id = self._req_rng.randrange(self._blocks)
+            if is_write:
+                # Stores complete at acceptance; the oblivious write-back
+                # is the ORAM engine's business.
+                frontend.issue(OpType.WRITE, block_id, self.tenant_id, None)
+                self._writes.add()
+                self._complete(seq, block_id, True, arrival, self.engine.now)
+            else:
+                frontend.issue(
+                    OpType.READ, block_id, self.tenant_id,
+                    _TenantDone(self, seq, block_id, arrival),
+                )
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _complete(self, seq: int, block_id: int, is_write: bool,
+                  arrival: int, time: int) -> None:
+        fault = self._fault
+        if (not is_write and fault is not None and fault.kind == "delay"
+                and self._fault_rng.random() < fault.fraction):
+            # Response post-processing stall, scoped to this tenant's
+            # accounting only.
+            when = time + self._fault_delay_ticks
+            self.engine.call_at(
+                when,
+                _DelayedComplete(self, seq, block_id, arrival),
+                when,
+            )
+            return
+        self._record_completion(seq, block_id, is_write, arrival, time)
+
+    def _record_completion(self, seq: int, block_id: int, is_write: bool,
+                           arrival: int, time: int) -> None:
+        sojourn = time - arrival
+        self._completed.add()
+        self.sojourn.record(sojourn)
+        self.sojourn_stat.record(sojourn)
+        self.window_count += 1
+        self.window_total += sojourn
+        op = b"W" if is_write else b"R"
+        self._functional.update(b"%d:%d:%s;" % (seq, block_id, op))
+        self._timing.update(
+            b"%d:%d:%s:%d:%d;" % (seq, block_id, op, arrival, time)
+        )
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.instant(
+                "sd", "tenant_complete", self.name, time,
+                {"seq": seq, "sojourn": sojourn, "write": int(is_write)},
+            )
+        self.outstanding -= 1
+        if self._on_outstanding_change is not None:
+            self._on_outstanding_change()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def queued(self) -> int:
+        """Requests admitted but not yet fed to the frontend."""
+        return len(self._queue)
+
+    @property
+    def functional_digest(self) -> str:
+        """sha256 over completed ``(seq, block_id, op)`` -- timing-free."""
+        return self._functional.hexdigest()
+
+    @property
+    def timing_digest(self) -> str:
+        """sha256 over completions including arrival/finish ticks."""
+        return self._timing.hexdigest()
+
+    def take_window(self) -> Tuple[int, int]:
+        """Drain the governor's (count, total-ticks) sojourn window."""
+        window = (self.window_count, self.window_total)
+        self.window_count = 0
+        self.window_total = 0
+        return window
+
+
+class _DelayedComplete:
+    """Deferred completion record for the ``delay`` tenant fault."""
+
+    __slots__ = ("tenant", "seq", "block_id", "arrival")
+
+    def __init__(self, tenant: TenantSource, seq: int, block_id: int,
+                 arrival: int) -> None:
+        self.tenant = tenant
+        self.seq = seq
+        self.block_id = block_id
+        self.arrival = arrival
+
+    def __call__(self, time: int) -> None:
+        self.tenant._record_completion(
+            self.seq, self.block_id, False, self.arrival, time
+        )

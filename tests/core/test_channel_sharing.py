@@ -60,3 +60,27 @@ class TestRecommendC:
     def test_invalid_ratio(self):
         with pytest.raises(ValueError):
             recommend_c(0.0)
+
+    def test_small_category_always_suggests_one(self):
+        # The loaded secure channel is the bottleneck: strip it down to a
+        # single co-located NS-App no matter how many are available.
+        for n in (1, 2, 3, 7, 16):
+            assert recommend_c(1.01, num_ns_apps=n).suggested_c == 1
+
+    @pytest.mark.parametrize("ratio", [1e-9, 0.5, 1.0, 1.01, 1e9])
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 16])
+    def test_suggestion_always_a_usable_app_count(self, ratio, n):
+        suggested = recommend_c(ratio, num_ns_apps=n).suggested_c
+        assert 1 <= suggested <= n
+
+    def test_large_branch_degenerate_populations(self):
+        # n <= 2: nobody worth shedding -- suggest everyone, instead of
+        # the n-2 rule of thumb going nonpositive.
+        assert recommend_c(0.9, num_ns_apps=1).suggested_c == 1
+        assert recommend_c(0.9, num_ns_apps=2).suggested_c == 2
+        assert recommend_c(0.9, num_ns_apps=3).suggested_c == 1
+        assert recommend_c(0.9, num_ns_apps=7).suggested_c == 5
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            recommend_c(1.2, num_ns_apps=0)

@@ -1,0 +1,95 @@
+"""Tenant-isolation regression: co-location moves timing, never results.
+
+Tenant 0's *functional* digest folds ``(seq, block_id, op)`` per
+completion in completion order.  With read-only load and ``drain=True``
+(completed == admitted, FIFO completion per tenant), that digest is a
+pure function of the tenant's own seeded streams -- so running tenant 0
+alone, next to contending neighbours, or next to a *faulted* neighbour
+must leave it bit-identical.  The timing digest, by contrast, must move
+under contention (otherwise it pins nothing).
+"""
+
+import pytest
+
+from repro.oram.config import OramConfig
+from repro.scenarios import ScenarioConfig, TenantFault, run_scenario
+
+#: Small tree + short horizon: each run takes well under a second.
+ORAM = OramConfig(leaf_level=12)
+HORIZON_NS = 20_000.0
+
+
+def _config(num_tenants, **kw):
+    return ScenarioConfig(
+        num_tenants=num_tenants,
+        horizon_ns=HORIZON_NS,
+        oram=ORAM,
+        seed=11,
+        **kw,
+    )
+
+
+@pytest.fixture(scope="module")
+def solo():
+    return run_scenario(_config(1))
+
+
+@pytest.fixture(scope="module")
+def trio():
+    return run_scenario(_config(3))
+
+
+class TestTenantIsolation:
+    def test_runs_did_real_work(self, solo, trio):
+        assert solo.tenants["0"]["completed"] > 0
+        assert all(row["completed"] > 0 for row in trio.tenants.values())
+
+    def test_functional_digest_unmoved_by_neighbours(self, solo, trio):
+        assert (trio.tenants["0"]["functional_digest"]
+                == solo.tenants["0"]["functional_digest"])
+
+    def test_offered_and_admitted_unmoved_by_neighbours(self, solo, trio):
+        for key in ("offered", "admitted", "completed"):
+            assert trio.tenants["0"][key] == solo.tenants["0"][key]
+
+    def test_timing_digest_moves_under_contention(self, solo, trio):
+        # Shared delegator + secure channel: the schedule must shift.
+        assert (trio.tenants["0"]["timing_digest"]
+                != solo.tenants["0"]["timing_digest"])
+
+    def test_drain_completes_everything(self, trio):
+        for row in trio.tenants.values():
+            assert row["completed"] == row["admitted"]
+
+
+class TestTenantScopedFaults:
+    @pytest.fixture(scope="class")
+    def faulted(self):
+        fault = TenantFault(tenant_id=1, kind="drop", fraction=1.0, seed=5)
+        return run_scenario(_config(3, tenant_faults=(fault,)))
+
+    def test_fault_perturbs_only_its_tenant(self, trio, faulted):
+        assert faulted.tenants["1"]["rejected_fault"] > 0
+        assert (faulted.tenants["1"]["functional_digest"]
+                != trio.tenants["1"]["functional_digest"])
+
+    def test_other_tenants_functionally_untouched(self, trio, faulted):
+        for tenant in ("0", "2"):
+            assert (faulted.tenants[tenant]["functional_digest"]
+                    == trio.tenants[tenant]["functional_digest"])
+            assert (faulted.tenants[tenant]["admitted"]
+                    == trio.tenants[tenant]["admitted"])
+
+    def test_delay_fault_moves_latency_not_results(self, trio):
+        fault = TenantFault(tenant_id=1, kind="delay", fraction=1.0,
+                            delay_ns=500.0, seed=5)
+        delayed = run_scenario(_config(3, tenant_faults=(fault,)))
+        # Accounting delay: same functional results for everyone...
+        for tenant in ("0", "1", "2"):
+            assert (delayed.tenants[tenant]["functional_digest"]
+                    == trio.tenants[tenant]["functional_digest"])
+        # ...but the faulted tenant's latency shifted by >= the delay.
+        assert (delayed.tenants["1"]["latency_ns"]["p50"]
+                >= trio.tenants["1"]["latency_ns"]["p50"] + 500.0)
+        assert (delayed.tenants["0"]["latency_ns"]["p50"]
+                == trio.tenants["0"]["latency_ns"]["p50"])

@@ -16,8 +16,14 @@ at every observable layer:
   multi-window refresh catch-up, and still passes the referee;
 * channel StatSet snapshots (refresh counters included) are identical;
 * :class:`PeriodicStream`'s closed forms agree with one-at-a-time
-  eager consumption.
+  eager consumption;
+* the multi-tenant golden *scenario* (open-loop service layer, PR 6)
+  produces the committed report and trace digests under every
+  ``sched x periodic`` combination.
 """
+
+import json
+import os
 
 import pytest
 
@@ -195,3 +201,61 @@ class TestRefreshCatchUpInvariance:
             eng_lazy.raw_events_dispatched + eng_lazy.events_synthesized
             == eng_lazy.events_dispatched
         )
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant scenario invariance (the PR-6 service layer)
+# ---------------------------------------------------------------------------
+
+_GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "..", "obs", "golden_digests.json",
+)
+with open(os.path.normpath(_GOLDEN_PATH)) as _fp:
+    _SCENARIO_GOLDEN = json.load(_fp)["scenario"]
+
+
+class TestScenarioCensusInvariance:
+    """The golden 4-tenant scenario pinned across heap/wheel x eager/lazy.
+
+    The service layer keeps every component on the poll-free side of the
+    census contract (no NS cores, drain via ``engine.stop()``), so the
+    full SLO report, the logical event census, *and* the canonical event
+    trace must be identical in all four engine configurations -- and
+    must match the committed goldens (regen via tools/regen_goldens.py
+    after intentional changes).
+    """
+
+    def _run(self, monkeypatch, periodic=None, sched=None):
+        from repro.obs.tracer import Tracer
+        from repro.scenarios import golden_scenario_config, run_scenario
+
+        if periodic:
+            monkeypatch.setenv("DORAM_PERIODIC", periodic)
+        else:
+            monkeypatch.delenv("DORAM_PERIODIC", raising=False)
+        if sched:
+            monkeypatch.setenv("DORAM_SCHED", sched)
+        else:
+            monkeypatch.delenv("DORAM_SCHED", raising=False)
+        tracer = Tracer()
+        result = run_scenario(golden_scenario_config(), tracer=tracer)
+        return result, trace_digest(tracer.events)
+
+    @pytest.mark.parametrize("periodic,sched", [
+        (None, None),
+        ("eager", None),
+        (None, "wheel"),
+        ("eager", "wheel"),
+    ])
+    def test_matches_committed_goldens(self, periodic, sched, monkeypatch):
+        result, digest = self._run(monkeypatch, periodic, sched)
+        assert result.report_digest() == _SCENARIO_GOLDEN["report"]
+        assert digest == _SCENARIO_GOLDEN["trace"]
+
+    def test_census_and_report_identical_across_modes(self, monkeypatch):
+        lazy, _ = self._run(monkeypatch)
+        eager, _ = self._run(monkeypatch, periodic="eager")
+        assert lazy.to_json_dict() == eager.to_json_dict()
+        assert lazy.events == eager.events
+        assert lazy.end_time == eager.end_time

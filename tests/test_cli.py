@@ -227,3 +227,67 @@ class TestSweepFailureSurfacing:
         assert "FAILED after retry" in captured.err
         assert "injected sweep failure" in captured.err
         assert "retried=" in captured.out
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.tenants == 8
+        assert args.arrival == "poisson"
+        assert args.rate == 200_000.0
+        assert args.horizon_us == 100.0
+        assert args.queue_cap == 64
+        assert args.leaf_level == 23
+        assert args.slo_target_ns == 0.0
+        assert args.store == "none"
+        assert not args.digest
+
+    def test_parser_rejects_unknown_sched(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--sched", "bogus"])
+
+    def test_serve_smoke_report(self, capsys):
+        code = main(["serve", "--tenants", "2", "--leaf-level", "12",
+                     "--horizon-us", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "aggregate:" in out
+        assert "p999" in out
+        assert "report digest" in out
+
+    def test_serve_digest_and_json(self, capsys, tmp_path, monkeypatch):
+        # Seed the env vars via monkeypatch so its teardown undoes the
+        # os.environ writes cmd_serve makes for --sched/--periodic.
+        monkeypatch.setenv("DORAM_SCHED", "heap")
+        monkeypatch.setenv("DORAM_PERIODIC", "lazy")
+        report = tmp_path / "slo.json"
+        code = main(["serve", "--tenants", "2", "--leaf-level", "12",
+                     "--horizon-us", "10", "--sched", "wheel",
+                     "--digest", "--json", str(report)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace digest:" in out
+        import json
+
+        doc = json.loads(report.read_text())
+        assert len(doc["tenants"]) == 2
+        assert all("latency_ns" in row for row in doc["tenants"].values())
+
+    def test_serve_rejects_unknown_arrival(self, capsys):
+        code = main(["serve", "--arrival", "constant"])
+        assert code == 2
+        assert "unknown arrival kind" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_config(self, capsys):
+        code = main(["serve", "--tenants", "0", "--leaf-level", "12"])
+        assert code == 2
+        assert "num_tenants" in capsys.readouterr().err
+
+    def test_serve_sweep_grid(self, capsys):
+        code = main(["serve", "--leaf-level", "12", "--horizon-us", "10",
+                     "--sweep-tenants", "1,2", "--sweep-rates", "100000",
+                     "--workers", "1", "--store", "none"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tenants" in out and "p999_ns" in out
+        assert "2 simulated" in out

@@ -28,6 +28,7 @@ from repro.obs.golden import (  # noqa: E402  (path shim above)
     GOLDEN_TRACE_LENGTH,
     golden_digest,
 )
+from repro.scenarios import golden_scenario_digests  # noqa: E402
 
 OUT_PATH = os.path.join(
     os.path.dirname(os.path.abspath(__file__)),
@@ -46,10 +47,17 @@ def main() -> int:
             return 1
         digests[scheme] = first
         print(f"{scheme:<12} {first}")
+    scenario = golden_scenario_digests()
+    if scenario != golden_scenario_digests():
+        print("FATAL: golden scenario is nondeterministic", file=sys.stderr)
+        return 1
+    for kind, digest in sorted(scenario.items()):
+        print(f"scenario.{kind:<8} {digest}")
     doc = {
         "benchmark": GOLDEN_BENCHMARK,
         "trace_length": GOLDEN_TRACE_LENGTH,
         "digests": digests,
+        "scenario": scenario,
     }
     with open(os.path.normpath(OUT_PATH), "w") as fp:
         json.dump(doc, fp, indent=2, sort_keys=True)
