@@ -68,7 +68,11 @@ class _NormalOp:
             # also the delivery callback, re-invoked with the arrival.
             self.awaiting_data = False
             bob._packets_up()
-            bob.up.send(bob.packet_sizes.read_response, self, tag="rdata")
+            # Tail position: nothing is scheduled after this send, so
+            # the batch-kernel backend may deliver it inline.
+            bob.up.send_tail(
+                bob.packet_sizes.read_response, self, tag="rdata"
+            )
             return
         bob._finish(self.on_complete, time)
 

@@ -126,6 +126,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         os.environ["DORAM_SCHED"] = args.sched
     if args.periodic:
         os.environ["DORAM_PERIODIC"] = args.periodic
+    if args.dram:
+        os.environ["DORAM_DRAM"] = args.dram
     result = run_scheme(args.scheme, args.benchmark, args.trace_length,
                         faults=faults)
     print(f"scheme={args.scheme} benchmark={args.benchmark} "
@@ -230,12 +232,16 @@ def cmd_perf(args: argparse.Namespace) -> int:
     error = _validate_point(args.scheme, args.benchmark, args.trace_length)
     if error:
         return _fail(error)
+    if args.dram:
+        os.environ["DORAM_DRAM"] = args.dram
     profiler = cProfile.Profile()
     profiler.enable()
     result = run_scheme(args.scheme, args.benchmark, args.trace_length)
     profiler.disable()
+    backend = os.environ.get("DORAM_DRAM", "legacy") or "legacy"
     print(f"scheme={args.scheme} benchmark={args.benchmark} "
-          f"trace={args.trace_length}: {result.events:,} events")
+          f"trace={args.trace_length} dram={backend}: "
+          f"{result.events:,} events ({result.raw_events:,} dispatched)")
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats(args.sort)
     stats.print_stats(args.top)
@@ -420,6 +426,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         os.environ["DORAM_SCHED"] = args.sched
     if args.periodic:
         os.environ["DORAM_PERIODIC"] = args.periodic
+    if args.dram:
+        os.environ["DORAM_DRAM"] = args.dram
     overrides: Dict[str, object] = {
         "num_tenants": args.tenants,
         "arrival.kind": args.arrival,
@@ -505,6 +513,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--periodic", choices=("lazy", "eager"), default="",
                        help="periodic-stream mode (DORAM_PERIODIC); eager "
                             "dispatches every occurrence, the census oracle")
+    p_run.add_argument("--dram", choices=("legacy", "kernel"), default="",
+                       help="DRAM service backend (DORAM_DRAM); legacy is "
+                            "the object-per-bank oracle, kernel the batched "
+                            "struct-of-arrays path")
     p_run.add_argument("--faults", default="",
                        help="arm a fault-plan JSON file "
                             "(see 'doram faults --dry-run')")
@@ -572,6 +584,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("scheme")
     p_perf.add_argument("--benchmark", default="libq")
     p_perf.add_argument("--trace-length", type=int, default=2000)
+    p_perf.add_argument("--dram", choices=("legacy", "kernel"), default="",
+                        help="DRAM service backend (DORAM_DRAM)")
     p_perf.add_argument("--top", type=int, default=25,
                         help="number of functions to print (default 25)")
     p_perf.add_argument("--sort", default="cumulative",
@@ -625,6 +639,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="scheduler backend (DORAM_SCHED)")
     p_serve.add_argument("--periodic", choices=("lazy", "eager"), default="",
                          help="periodic-stream mode (DORAM_PERIODIC)")
+    p_serve.add_argument("--dram", choices=("legacy", "kernel"), default="",
+                         help="DRAM service backend (DORAM_DRAM)")
     p_serve.add_argument("--digest", action="store_true",
                          help="trace the run and print its event digest")
     p_serve.add_argument("--json", default="",

@@ -31,6 +31,7 @@ from repro.dram.address_mapping import (
 )
 from repro.dram.channel import Channel
 from repro.dram.commands import MemRequest, OpType, TrafficClass
+from repro.dram.kernel import channel_class
 from repro.dram.scheduler import SharePolicy, SingleClassPolicy
 from repro.obs.snapshot import StatsSampler
 from repro.oram.controller import OramController
@@ -360,7 +361,7 @@ def build_bob_fabric(
                 secure_policy if (is_secure and secure_policy is not None)
                 else SingleClassPolicy()
             )
-            sub = Channel(
+            sub = channel_class(engine)(
                 engine, f"ch{ch}.{i}", dram_timing, channel_params,
                 share_policy=policy, tracer=tracer,
             )
@@ -415,7 +416,7 @@ def build_and_run(config: SystemConfig,
             # Secure and normal traffic share every channel in the
             # on-chip baseline, so each gets the preallocation policy.
             policy = secure_share if oram_in_dram else SingleClassPolicy()
-            channels[(ch, 0)] = Channel(
+            channels[(ch, 0)] = channel_class(engine)(
                 engine, f"ch{ch}", config.dram_timing, config.channel_params,
                 share_policy=policy, tracer=tracer,
             )

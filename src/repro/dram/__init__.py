@@ -19,6 +19,7 @@ from repro.dram.timing import DDR3Timing, DDR3_1600
 from repro.dram.commands import MemRequest, OpType
 from repro.dram.bank import Bank
 from repro.dram.channel import Channel
+from repro.dram.kernel import KernelChannel, channel_class
 from repro.dram.scheduler import FrFcfsScheduler, SharePolicy
 from repro.dram.address_mapping import (
     ChannelInterleaver,
@@ -34,6 +35,8 @@ __all__ = [
     "OpType",
     "Bank",
     "Channel",
+    "KernelChannel",
+    "channel_class",
     "FrFcfsScheduler",
     "SharePolicy",
     "ChannelInterleaver",

@@ -1,0 +1,552 @@
+"""Struct-of-arrays DRAM batch kernel (``DORAM_DRAM=kernel``).
+
+:class:`KernelChannel` is a drop-in replacement for
+:class:`repro.dram.channel.Channel` that restructures the hot service
+loop two ways:
+
+**Struct-of-arrays bank state.**  The per-bank JEDEC state machine
+(open row, last-ACTIVATE time, precharge/activate readiness fences)
+lives in flat per-channel lists indexed by bank number instead of one
+``Bank`` object per bank.  The FR-FCFS pick and the whole
+``Bank.commit`` timing arithmetic are fused into the service step with
+every table in a local, so one decision point costs list indexing
+instead of attribute traffic across three objects.  The base class's
+``Bank`` objects are still constructed (``len(channel.banks)`` is part
+of the public surface) but are *stale*: the arrays are authoritative.
+
+**Chained decision points.**  The legacy channel schedules one engine
+event per decision: the next-service event at each burst's data start
+and one completion event per request.  The next-service event is very
+often the engine's next event anyway, so instead of pushing it the
+kernel holds it as a ``(time, seq)`` slot and keeps re-entering the
+service step inline -- advancing the whole channel to its next decision
+point in one dispatch -- for as long as the held slot is strictly
+earlier (lexicographic ``(time, seq)``) than the engine's queue head.
+Each inlined step books one synthesized occurrence, the same census
+contract lazy periodic streams established: the logical event count,
+every stat, the command log, and the trace are byte-identical to the
+legacy channel; only the raw dispatch count drops.  When a foreign
+event is due first the slot is pushed with the sequence number it was
+allocated, so same-tick FIFO order is exactly what the legacy channel
+produces.  Completions always go through the queue at legacy code
+points -- holding them too saved one push/pop but cost more in
+bookkeeping than it won, and keeping them queued means *nothing that
+consults* :meth:`Engine.peek_time` *can ever run while an event is
+held* (only space-waiter callbacks run inside the step, and they only
+push), so no extra guard rail in the engine is needed.
+
+Chaining obeys the same gate as core gap crunching
+(``engine.lazy_periodic and not engine._tracer.enabled``): in eager
+periodic mode, or under a per-dispatch engine trace, every decision is
+flushed immediately and the kernel's raw dispatch stream reproduces the
+legacy channel event for event -- that is the differential oracle the
+conformance suite replays.
+
+Safety interactions with other fast-forward machinery: chains respect
+``engine._run_until`` (a bounded ``run(until=...)`` must leave later
+events queued) and stop at ``engine.stop()``, flushing the held slot in
+both cases.
+
+Sequence-number discipline: the kernel allocates ``engine._seq`` at
+exactly the code points the legacy channel does (completion before
+space waiters, next-service after), whether the event is later inlined
+or flushed, so every other component's same-tick ordering is untouched.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop as _heappop
+from typing import Optional, Tuple
+
+from repro.dram.channel import Channel, _NO_PICK
+from repro.dram.commands import OpType, TrafficClass
+from repro.sim.engine import Engine, _NO_ARG
+
+__all__ = ["KernelChannel", "channel_class"]
+
+
+def channel_class(engine: Engine):
+    """The channel implementation selected by ``engine.dram_backend``."""
+    return KernelChannel if engine.dram_backend == "kernel" else Channel
+
+
+class KernelChannel(Channel):
+    """A DRAM channel with struct-of-arrays banks and chained service.
+
+    Construction, the front-end interface (``can_accept`` / ``enqueue``
+    / ``notify_on_space``), statistics, and analysis helpers are
+    inherited; only the service path and the bank state layout differ.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        n = self.params.num_banks
+        # Struct-of-arrays bank state (authoritative; the inherited
+        # Bank objects are not updated).  ``None`` means precharged,
+        # mirroring Bank.open_row so row comparisons are identical.
+        self._open_row: list = [None] * n
+        self._b_act_time = [-(10 ** 12)] * n
+        self._b_pre_ready = [0] * n
+        self._b_act_ready = [0] * n
+        # Remaining JEDEC parameters the fused commit needs (the base
+        # class already caches tBURST/tRTW/tREFI/tRFC).
+        t = self.timing
+        self._tRCD = t.tRCD
+        self._tRP = t.tRP
+        self._tRC = t.tRC
+        self._tRAS = t.tRAS
+        self._tWR = t.tWR
+        self._tRTP = t.tRTP
+        self._tCL = t.tCL
+        self._tCWL = t.tCWL
+        self._tRRD = t.tRRD
+        self._tFAW = t.tFAW
+        self._tWTR = t.tWTR
+        #: Rank ACT history (shared with ``self.rank`` so rank-level
+        #: introspection stays truthful).
+        self._r_acts = self.rank._acts
+        # Same gate as Core._crunch: chaining books synthesized
+        # occurrences and elides dispatches a per-dispatch engine trace
+        # would record.
+        self._chain_ok = (
+            self.engine.lazy_periodic and not self.engine._tracer.enabled
+        )
+        # Direct heap reference for the chain guard (None under the
+        # wheel scheduler, which uses peek_entry()).  A raw ``heap[0]``
+        # probe treats a cancelled-but-unpopped head as live -- a
+        # conservative "don't chain", which is always safe.
+        self._equeue = (
+            self.engine._queue if self.engine._wheel is None else None
+        )
+
+    # ------------------------------------------------------------------
+    def start_command_log(self) -> list:
+        """Same contract as the base class; the kernel writes the log
+        directly from the fused service step (the stale Bank objects
+        never see commands)."""
+        from repro.dram.compliance import DramCommand  # noqa: F401
+
+        self.command_log = []
+        return self.command_log
+
+    # ------------------------------------------------------------------
+    # Service loop
+    # ------------------------------------------------------------------
+    def _service(self) -> None:
+        engine = self.engine
+        step = self._step
+        svc = step(engine.now)
+        if svc is None:
+            return
+        if self._chain_ok:
+            q = self._equeue
+            if q is not None:
+                cancelled = engine._cancelled_seqs
+                while not engine._stopped:
+                    t = svc[0]
+                    if q:
+                        # Drain cancel tombstones exactly as the
+                        # dispatcher would: a dead head must not break
+                        # the chain, or the raw dispatch count becomes
+                        # sensitive to who cancelled what (the empty
+                        # fault-plan identity suite pins this).
+                        while q and cancelled and q[0][1] in cancelled:
+                            cancelled.remove(_heappop(q)[1])
+                    if q:
+                        head = q[0]
+                        if head[0] < t or (
+                            head[0] == t and head[1] < svc[1]
+                        ):
+                            break  # a foreign event is due first
+                    until = engine._run_until
+                    if until is not None and t > until:
+                        break  # bounded run: leave this event queued
+                    engine._synthesized += 1
+                    engine.now = t
+                    svc = step(t)
+                    if svc is None:
+                        return
+            else:
+                peek = engine.peek_entry
+                while not engine._stopped:
+                    t, s = svc
+                    head = peek()
+                    if head is not None and (
+                        head[0] < t or (head[0] == t and head[1] < s)
+                    ):
+                        break  # a foreign event is due first
+                    until = engine._run_until
+                    if until is not None and t > until:
+                        break  # bounded run: leave this event queued
+                    engine._synthesized += 1
+                    engine.now = t
+                    svc = step(t)
+                    if svc is None:
+                        return
+        engine._push((svc[0], svc[1], self._service, _NO_ARG))
+
+    def _step(self, now: int) -> Optional[Tuple[int, int]]:
+        """One decision point: the legacy ``Channel._service`` body over
+        the struct-of-arrays state.  Completions are pushed exactly
+        where the legacy channel pushes them; only the next-*service*
+        event is handed back as a ``(time, seq)`` slot for the chain
+        loop to inline or queue."""
+        self._service_scheduled = False
+        read_q = self.read_q
+        write_q = self.write_q
+        if not (read_q or write_q):
+            return
+        engine = self.engine
+
+        # Refresh first (identical to the legacy channel: closed-form
+        # catch-up of every overdue window, back-dated logs/trace).
+        stream = self._refresh_stream
+        if now >= stream.next_due:
+            first, count = stream.take_due(now)
+            tRFC = self._tRFC
+            last_end = first + (count - 1) * self._tREFI + tRFC
+            log = self.command_log
+            if log is not None:
+                from repro.dram.compliance import DramCommand
+
+                start = first
+                for _ in range(count):
+                    log.append(
+                        DramCommand(start, "REF", -1, None, start + tRFC)
+                    )
+                    start += self._tREFI
+            if self._tracer.enabled:
+                self._tracer.complete_series(
+                    "dram", "refresh", self.name, first, self._tREFI,
+                    count, tRFC,
+                )
+            open_row = self._open_row
+            act_ready = self._b_act_ready
+            for i in range(len(open_row)):  # force_precharge, fused
+                open_row[i] = None
+                if last_end > act_ready[i]:
+                    act_ready[i] = last_end
+            if last_end > self._bus_free:
+                self._bus_free = last_end
+            self.rank.refreshes += count
+            self._refreshes_counter.value += count
+            if count > 1:
+                engine._synthesized += count - 1
+            self._service_scheduled = True
+            seq = engine._seq
+            engine._seq = seq + 1
+            bus_free = self._bus_free
+            return (bus_free if bus_free > now else now, seq)
+
+        # Queue selection: write-drain hysteresis + age bound.
+        params = self.params
+        wq_len = len(write_q)
+        draining = self._draining
+        if draining and wq_len <= params.write_drain_lo:
+            draining = self._draining = False
+        if not draining and wq_len >= params.write_drain_hi:
+            draining = self._draining = True
+        if not draining and wq_len and (
+            now - write_q[0].arrival >= params.write_timeout
+        ):
+            draining = self._draining = True
+        if draining and wq_len:
+            queue = write_q
+        elif read_q:
+            queue = read_q
+        else:
+            queue = write_q
+
+        # Single-class common-case picks (depth-1 pop, head row-hit).
+        open_row_l = self._open_row
+        is_write_q = queue is write_q
+        secure_count = self._wq_secure if is_write_q else self._rq_secure
+        qlen = len(queue)
+        if not 0 < secure_count < qlen:
+            if qlen == 1:
+                req = queue.pop()
+            elif open_row_l[(r0 := queue[0]).bank] == r0.row:
+                req = r0
+                del queue[0]
+            else:
+                req = None
+            if req is not None:
+                indexes = self._wq_index if is_write_q else self._rq_index
+                index = indexes[req.bank]
+                bucket = index[req.row]
+                if len(bucket) == 1:
+                    del index[req.row]
+                else:
+                    bucket.remove(req)
+                if req.traffic is TrafficClass.SECURE:
+                    if is_write_q:
+                        self._wq_secure -= 1
+                    else:
+                        self._rq_secure -= 1
+            else:
+                req = self._pick_request(queue)
+        else:
+            req = self._pick_request(queue)
+
+        # Fused Bank.commit over the arrays.
+        bus_free = self._bus_free
+        floor = bus_free if bus_free > now else now
+        is_write = req.is_write
+        if is_write and self._last_op is OpType.READ:
+            floor += self._tRTW
+        b = req.bank
+        row = req.row
+        earliest = req.arrival
+        rank = self.rank
+        cas = self._tCWL if is_write else self._tCL
+        orow = open_row_l[b]
+        if orow == row:  # hit (orow is never None here)
+            outcome = "hit"
+            act_time = self._b_act_time[b]
+            pre_time = None
+            col = act_time + self._tRCD
+            if col < earliest:
+                col = earliest
+            if not is_write:
+                ready = rank._last_write_end + self._tWTR
+                if ready > col:
+                    col = ready
+            data_start = col + cas
+        else:
+            act_ready = self._b_act_ready[b]
+            if orow is not None:  # conflict: PRECHARGE first
+                outcome = "conflict"
+                pre_time = self._b_pre_ready[b]
+                if pre_time < earliest:
+                    pre_time = earliest
+                act_lb = pre_time + self._tRP
+                if act_lb < act_ready:
+                    act_lb = act_ready
+            else:  # closed
+                outcome = "closed"
+                pre_time = None
+                act_lb = act_ready if act_ready > earliest else earliest
+            # tRRD + tFAW activate fences (rank ACT history).
+            act_time = act_lb
+            acts = self._r_acts
+            if acts:
+                fence = acts[-1] + self._tRRD
+                if fence > act_time:
+                    act_time = fence
+                if len(acts) >= 4:
+                    fence = acts[-4] + self._tFAW
+                    if fence > act_time:
+                        act_time = fence
+            col = act_time + self._tRCD
+            if not is_write:
+                ready = rank._last_write_end + self._tWTR
+                if ready > col:
+                    col = ready
+            data_start = col + cas
+            acts.append(act_time)
+            if len(acts) > 4:
+                del acts[0]
+            self._b_act_time[b] = act_time
+            self._b_act_ready[b] = act_time + self._tRC
+            open_row_l[b] = row
+        if data_start < floor:
+            data_start = floor
+        col_time = data_start - cas
+        pre_ready_l = self._b_pre_ready
+        act_fence = act_time + self._tRAS
+        if is_write:
+            write_end = data_start + self._tBURST
+            pre_ready = write_end + self._tWR
+            if act_fence > pre_ready:
+                pre_ready = act_fence
+            if pre_ready > pre_ready_l[b]:
+                pre_ready_l[b] = pre_ready
+            if write_end > rank._last_write_end:
+                rank._last_write_end = write_end
+        else:
+            pre_ready = col_time + self._tRTP
+            if act_fence > pre_ready:
+                pre_ready = act_fence
+            if pre_ready > pre_ready_l[b]:
+                pre_ready_l[b] = pre_ready
+        if self._close_page:
+            close_pre = pre_ready_l[b]
+            open_row_l[b] = None
+            ar = close_pre + self._tRP
+            if ar > self._b_act_ready[b]:
+                self._b_act_ready[b] = ar
+        log = self.command_log
+        if log is not None:
+            from repro.dram.compliance import DramCommand
+
+            if pre_time is not None:
+                log.append(DramCommand(pre_time, "PRE", b, None))
+            if outcome != "hit":
+                log.append(DramCommand(act_time, "ACT", b, row))
+            log.append(
+                DramCommand(col_time, "WR" if is_write else "RD", b, row)
+            )
+            if self._close_page:
+                log.append(DramCommand(close_pre, "PRE", b, None))
+
+        tburst = self._tBURST
+        finish = data_start + tburst
+        self._bus_free = finish
+        self._last_op = req.op
+        self._busy_ticks += tburst
+
+        latency = finish - earliest
+        secure = req.traffic is TrafficClass.SECURE
+        lat_kind, lat_cls, served = self._lat_by_req[
+            (2 if is_write else 0) + (1 if secure else 0)
+        ]
+        lat_kind.count += 1
+        lat_kind.total += latency
+        bound = lat_kind.min
+        if bound is None or latency < bound:
+            lat_kind.min = latency
+        bound = lat_kind.max
+        if bound is None or latency > bound:
+            lat_kind.max = latency
+        lat_cls.count += 1
+        lat_cls.total += latency
+        bound = lat_cls.min
+        if bound is None or latency < bound:
+            lat_cls.min = latency
+        bound = lat_cls.max
+        if bound is None or latency > bound:
+            lat_cls.max = latency
+        self._row_counters[outcome].value += 1
+        served.value += 1
+        if self._tracer.enabled:
+            self._tracer.complete(
+                "dram", "write" if is_write else "read", self.name,
+                data_start, tburst,
+                {
+                    "bank": b,
+                    "row": row,
+                    "outcome": outcome,
+                    "app": req.app_id,
+                    "cls": req.traffic.value,
+                    "lat": latency,
+                },
+            )
+        on_complete = req.on_complete
+        if on_complete is not None:
+            if self._faults is not None and not is_write:
+                self._faults.maybe_flip(on_complete)
+            seq = engine._seq
+            engine._seq = seq + 1
+            engine._push((finish, seq, on_complete, finish))
+
+        if self._space_waiters:
+            self._wake_space_waiters()
+        if read_q or write_q:
+            self._service_scheduled = True
+            seq = engine._seq
+            engine._seq = seq + 1
+            return (data_start, seq)
+        return None
+
+    # ------------------------------------------------------------------
+    # FR-FCFS picks over the arrays (same decisions as the base class)
+    # ------------------------------------------------------------------
+    def _pick_request(self, queue):
+        is_write_q = queue is self.write_q
+        secure_count = self._wq_secure if is_write_q else self._rq_secure
+        indexes = self._wq_index if is_write_q else self._rq_index
+        open_row_l = self._open_row
+        qlen = len(queue)
+        if 0 < secure_count < qlen:
+            if queue[0].traffic is TrafficClass.SECURE:
+                classes = [TrafficClass.SECURE, TrafficClass.NORMAL]
+            else:
+                classes = [TrafficClass.NORMAL, TrafficClass.SECURE]
+            chosen_cls = self.share_policy.pick_class(classes)
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    "dram", "class_pick", self.name, self.engine.now,
+                    {"cls": chosen_cls.value, "contenders": len(classes)},
+                )
+                candidates = [r for r in queue if r.traffic is chosen_cls]
+                req = candidates[self._scan_pick(candidates)]
+            else:
+                window = self._window
+                first = None
+                req = None
+                examined = 0
+                for r in queue:
+                    if r.traffic is chosen_cls:
+                        if open_row_l[r.bank] == r.row:
+                            req = r
+                            break
+                        if first is None:
+                            first = r
+                        examined += 1
+                        if examined >= window:
+                            break
+                if req is None:
+                    req = first
+            queue.remove(req)
+        elif qlen == 1:
+            req = queue.pop()
+        elif open_row_l[(r0 := queue[0]).bank] == r0.row:
+            req = r0
+            del queue[0]
+        elif qlen <= self._window:
+            req = None
+            best_seq = _NO_PICK
+            for bank_idx, row in enumerate(open_row_l):
+                if row is not None:
+                    bucket = indexes[bank_idx].get(row)
+                    if bucket:
+                        head = bucket[0]
+                        if head._enq_seq < best_seq:
+                            best_seq = head._enq_seq
+                            req = head
+            if req is None:
+                req = queue[0]
+                del queue[0]
+            elif self._tracer.enabled:
+                i = queue.index(req)
+                if i:
+                    self._tracer.instant(
+                        "dram", "frfcfs_reorder", self.name,
+                        self.engine.now,
+                        {"index": i, "bank": req.bank, "depth": qlen},
+                    )
+                del queue[i]
+            else:
+                queue.remove(req)
+        else:
+            req = queue[self._scan_pick(queue)]
+            queue.remove(req)
+
+        index = indexes[req.bank]
+        bucket = index[req.row]
+        if len(bucket) == 1:
+            del index[req.row]
+        else:
+            bucket.remove(req)
+        if req.traffic is TrafficClass.SECURE:
+            if is_write_q:
+                self._wq_secure -= 1
+            else:
+                self._rq_secure -= 1
+        return req
+
+    def _scan_pick(self, queue) -> int:
+        open_row_l = self._open_row
+        qlen = len(queue)
+        limit = qlen if qlen < self._window else self._window
+        for i in range(limit):
+            r = queue[i]
+            if open_row_l[r.bank] == r.row:
+                if i and self._tracer.enabled:
+                    self._tracer.instant(
+                        "dram", "frfcfs_reorder", self.name,
+                        self.engine.now,
+                        {"index": i, "bank": r.bank, "depth": qlen},
+                    )
+                return i
+        return 0

@@ -138,6 +138,9 @@ class Engine:
             periodic = os.environ.get("DORAM_PERIODIC", "lazy")
         if periodic not in ("lazy", "eager"):
             raise ValueError(f"unknown periodic mode {periodic!r}")
+        dram = os.environ.get("DORAM_DRAM", "legacy")
+        if dram not in ("legacy", "kernel"):
+            raise ValueError(f"unknown DRAM backend {dram!r}")
         self.now: int = 0
         self._queue: List[EventHandle] = []
         self._seq = 0
@@ -150,6 +153,16 @@ class Engine:
         #: True when models may fast-forward periodic work (see above).
         self.lazy_periodic = periodic == "lazy"
         self.scheduler = scheduler
+        #: DRAM channel implementation (``DORAM_DRAM``): ``"legacy"`` is
+        #: the object-per-bank oracle, ``"kernel"`` the struct-of-arrays
+        #: batch kernel (:mod:`repro.dram.kernel`).  The system builder
+        #: reads this to pick the channel class.
+        self.dram_backend = dram
+        #: The active ``run(until=...)`` bound (``None`` outside a
+        #: bounded run).  Batch kernels consult it so inline chains never
+        #: execute events the bounded dispatch loop would have left
+        #: queued.
+        self._run_until: Optional[int] = None
         #: Seqs of cancelled-but-not-yet-popped entries.  The dispatch
         #: loop guards on the set's truthiness, so the no-cancellation
         #: hot path pays a single local check per event.
@@ -158,6 +171,18 @@ class Engine:
         self._tracer = (
             tracer.category("engine") if tracer is not None
             else _NULL_DISPATCH_TRACER
+        )
+        #: True when same-tick completion work may run inline (booked as
+        #: synthesized) instead of being dispatched: the batch-kernel
+        #: backend is selected, lazy periodic mode allows synthesized
+        #: occurrences, and no per-dispatch engine trace would miss the
+        #: elided dispatches.  The legacy backend keeps the exact
+        #: dispatch-per-event behavior, preserving it as the bit-exact
+        #: differential oracle.
+        self.batch_inline_ok = (
+            dram == "kernel"
+            and self.lazy_periodic
+            and not self._tracer.enabled
         )
         if scheduler == "wheel":
             from repro.sim.wheel import DEFAULT_BUCKET_TICKS, TimingWheel
@@ -320,6 +345,7 @@ class Engine:
             instead of hanging.
         """
         self._stopped = False
+        self._run_until = until
         if self._wheel is not None:
             return self._run_wheel(until, max_events)
         # The dispatch loop binds everything it touches every iteration
@@ -362,6 +388,7 @@ class Engine:
                             break
             finally:
                 self._events_dispatched = dispatched
+                self._run_until = None
             return
         try:
             while queue:
@@ -405,6 +432,7 @@ class Engine:
                 self.now = until
         finally:
             self._events_dispatched = dispatched
+            self._run_until = None
 
     def _run_wheel(self, until: Optional[int],
                    max_events: Optional[int]) -> None:
@@ -461,6 +489,7 @@ class Engine:
                 self.now = until
         finally:
             self._events_dispatched = dispatched
+            self._run_until = None
 
     def stop(self) -> None:
         """Stop :meth:`run` after the current event returns."""
@@ -504,7 +533,27 @@ class Engine:
         self._synthesized += count
 
     def peek_time(self) -> Optional[int]:
-        """Tick of the next live queued event, or ``None`` if none remain."""
+        """Tick of the next live pending event, or ``None`` if none remain.
+
+        Callers use this as a fast-forward limit.  The batch kernel
+        (:mod:`repro.dram.kernel`) only ever holds an event out of the
+        queue *inside* its own chain loop -- every code path that
+        consults this method runs with the kernel fully flushed -- so
+        the queue head is always the true next event.
+        """
+        queued = self._peek_queued()
+        return queued[0] if queued is not None else None
+
+    def peek_entry(self) -> Optional[EventHandle]:
+        """The live head *entry* of the queue, or ``None`` if empty.
+
+        Unlike :meth:`peek_time` this exposes the sequence number, for
+        the batch kernel's strict ``(time, seq)`` chain guard.
+        """
+        return self._peek_queued()
+
+    def _peek_queued(self) -> Optional[EventHandle]:
+        """Live queue head, skipping (and draining) cancel tombstones."""
         cancelled = self._cancelled_seqs
         wheel = self._wheel
         if wheel is not None:
@@ -515,8 +564,8 @@ class Engine:
                 if cancelled and head[1] in cancelled:
                     cancelled.remove(wheel.pop()[1])
                     continue
-                return head[0]
+                return head
         queue = self._queue
         while queue and cancelled and queue[0][1] in cancelled:
             cancelled.remove(heappop(queue)[1])
-        return queue[0][0] if queue else None
+        return queue[0] if queue else None

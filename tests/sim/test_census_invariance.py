@@ -148,11 +148,11 @@ class TestGoldenDigestInvariance:
 # Refresh catch-up vs the protocol referee
 # ---------------------------------------------------------------------------
 
-def _bursty_channel(periodic):
+def _bursty_channel(periodic, channel_cls=Channel):
     """A channel fed short bursts separated by multi-tREFI idle gaps, so
     the first service after each gap owes several refresh windows."""
     eng = Engine(periodic=periodic)
-    channel = Channel(eng, "ch0")
+    channel = channel_cls(eng, "ch0")
     log = channel.start_command_log()
     num_banks = channel.params.num_banks
 
@@ -201,6 +201,112 @@ class TestRefreshCatchUpInvariance:
             eng_lazy.raw_events_dispatched + eng_lazy.events_synthesized
             == eng_lazy.events_dispatched
         )
+
+
+# ---------------------------------------------------------------------------
+# Struct-of-arrays batch kernel (PR 7): same census contract, third axis
+# ---------------------------------------------------------------------------
+
+def _fig9_dram(scheme, monkeypatch, dram=None, periodic=None, sched=None):
+    if dram:
+        monkeypatch.setenv("DORAM_DRAM", dram)
+    else:
+        monkeypatch.delenv("DORAM_DRAM", raising=False)
+    return _fig9(scheme, monkeypatch, periodic=periodic, sched=sched)
+
+
+@pytest.mark.parametrize("scheme", FIG9_SCHEMES)
+class TestKernelBackendCensusInvariance:
+    """``DORAM_DRAM=kernel`` joins heap/wheel x eager/lazy as a third
+    equivalence axis: the batch kernel may fold chained service slots
+    into single dispatches (booked as synthesized), but every payload
+    byte and the logical census must match the legacy oracle."""
+
+    def test_kernel_payload_identical_to_legacy(self, scheme, monkeypatch):
+        legacy = _fig9_dram(scheme, monkeypatch)
+        kernel = _fig9_dram(scheme, monkeypatch, dram="kernel")
+        assert kernel.to_json_dict() == legacy.to_json_dict()
+        assert kernel.events == legacy.events
+        # The chain loop must actually fire: fewer raw dispatches than
+        # the legacy lazy engine, with the difference booked as
+        # synthesized events (otherwise the kernel is dead code).
+        assert kernel.raw_events < legacy.raw_events
+
+    def test_kernel_invariant_across_engine_modes(self, scheme, monkeypatch):
+        lazy = _fig9_dram(scheme, monkeypatch, dram="kernel")
+        eager = _fig9_dram(scheme, monkeypatch, dram="kernel",
+                           periodic="eager")
+        wheel = _fig9_dram(scheme, monkeypatch, dram="kernel", sched="wheel")
+        assert eager.to_json_dict() == lazy.to_json_dict()
+        assert wheel.to_json_dict() == lazy.to_json_dict()
+        # Eager periodic mode turns the chain gate off: the kernel then
+        # dispatches one event per occurrence, the census oracle.
+        assert eager.raw_events == eager.events
+
+
+class TestKernelGoldenDigest:
+    def test_traced_kernel_run_matches_legacy_digest(self, monkeypatch):
+        """Tracing disables the chain gate (every event must hit the
+        dispatch loop for the trace), yet the kernel's SoA service math
+        must still produce the identical canonical event stream."""
+        monkeypatch.delenv("DORAM_DRAM", raising=False)
+        _res, trace = run_traced("doram")
+        legacy_digest = trace_digest(trace.events)
+        monkeypatch.setenv("DORAM_DRAM", "kernel")
+        _res, trace = run_traced("doram")
+        assert trace_digest(trace.events) == legacy_digest
+
+
+class TestKernelRefreshCatchUp:
+    def test_kernel_catchup_streams_match_all_oracles(self):
+        from repro.dram.kernel import KernelChannel
+
+        eng_eager, ch_eager, log_eager = _bursty_channel("eager")
+        eng_k, ch_k, log_k = _bursty_channel(None, channel_cls=KernelChannel)
+        eng_ke, ch_ke, log_ke = _bursty_channel("eager",
+                                                channel_cls=KernelChannel)
+        # Kernel lazy == kernel eager == legacy eager, REF windows and all.
+        assert log_k == log_eager
+        assert log_ke == log_eager
+        checker = ProtocolChecker(T, ch_eager.params.num_banks)
+        assert checker.check(log_k) == []
+        assert ch_k.stats.as_dict() == ch_eager.stats.as_dict()
+        assert ch_k.rank.refreshes == ch_eager.rank.refreshes
+        assert eng_k.events_dispatched == eng_eager.events_dispatched
+        assert eng_k.now == eng_eager.now
+        # Chained service slots were folded into synthesized dispatches.
+        assert eng_k.raw_events_dispatched < eng_k.events_dispatched
+        assert (
+            eng_k.raw_events_dispatched + eng_k.events_synthesized
+            == eng_k.events_dispatched
+        )
+
+
+class TestKernelFaultInvariance:
+    """Fault-plan bit-flips land on the same reads at the same times
+    under the kernel backend: the flip site sits on the completion
+    boundary, which the kernel preserves exactly."""
+
+    def _armed(self, monkeypatch, dram=None):
+        from repro.faults import DramFault, FaultController, FaultPlan
+
+        if dram:
+            monkeypatch.setenv("DORAM_DRAM", dram)
+        else:
+            monkeypatch.delenv("DORAM_DRAM", raising=False)
+        monkeypatch.delenv("DORAM_PERIODIC", raising=False)
+        monkeypatch.delenv("DORAM_SCHED", raising=False)
+        plan = FaultPlan(seed=7, dram=(DramFault(channel="ch*", rate=0.01),))
+        return run_scheme("doram", "libq", TRACE_LENGTH,
+                          faults=FaultController(plan))
+
+    def test_flips_identical_under_kernel(self, monkeypatch):
+        legacy = self._armed(monkeypatch)
+        kernel = self._armed(monkeypatch, dram="kernel")
+        assert kernel.fault_summary == legacy.fault_summary
+        assert kernel.fault_summary["faults"]["dram_flips"] > 0
+        assert kernel.to_json_dict() == legacy.to_json_dict()
+        assert kernel.events == legacy.events
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,95 @@
+"""Perf-smoke gate for the DRAM batch kernel (DESIGN.md section 9b).
+
+Absolute events/s floors are meaningless across heterogeneous runners,
+so the gate is ratio-based and host-speed-robust: within one
+``bench_simcore`` run the fig9 rows are same-machine siblings, and the
+kernel's wall time relative to its legacy sibling is a pure software
+property.  The check fails when
+
+    (kernel wall / legacy wall) of the newest run
+        >  (kernel wall / legacy wall) of the committed baseline row
+           *  (1 + slack)
+
+with 20 % slack for shared-runner noise.  The committed baseline is the
+most recent fig9 sibling pair whose label differs from the run under
+test (normally the locally measured rows committed with the PR).
+
+Usage: python tools/check_kernel_perf.py [BENCH_sim.json] [--label ci]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_sim.json"
+)
+SLACK = 0.20
+
+
+def _sibling_ratio(rows, label=None, exclude_label=None):
+    """Newest fig9 kernel/legacy lazy wall ratio among matching rows,
+    with the rows it came from.  Rows are append-ordered; scan from the
+    end so 'newest' is last-written."""
+
+    def match(row, dram):
+        return (
+            row.get("workload") == "fig9_segment"
+            and row.get("config") == "lazy"
+            and row.get("dram") == dram
+            and (label is None or row.get("label") == label)
+            and (exclude_label is None or row.get("label") != exclude_label)
+        )
+
+    kernel = next((r for r in reversed(rows) if match(r, "kernel")), None)
+    legacy = next((r for r in reversed(rows) if match(r, "legacy")), None)
+    if kernel is None or legacy is None or not legacy.get("wall_s"):
+        return None, kernel, legacy
+    return kernel["wall_s"] / legacy["wall_s"], kernel, legacy
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", nargs="?", default=DEFAULT_PATH)
+    parser.add_argument("--label", default="ci",
+                        help="label of the run under test (default: ci)")
+    args = parser.parse_args(argv)
+
+    with open(args.path) as fp:
+        rows = json.load(fp)
+
+    current, cur_k, cur_l = _sibling_ratio(rows, label=args.label)
+    if current is None:
+        print(f"check_kernel_perf: no fig9 sibling pair labelled "
+              f"{args.label!r} in {args.path}", file=sys.stderr)
+        return 2
+    baseline, base_k, base_l = _sibling_ratio(
+        rows, exclude_label=args.label
+    )
+    if baseline is None:
+        print("check_kernel_perf: no committed baseline sibling pair; "
+              "nothing to gate against", file=sys.stderr)
+        return 2
+
+    # The conformance layer owns correctness, but a backend that stops
+    # eliding dispatches is a silent perf regression this file would
+    # otherwise miss.
+    if cur_k.get("events_dispatched", 0) >= cur_l.get("events_dispatched", 1):
+        print(f"FAIL: kernel dispatched {cur_k.get('events_dispatched'):,} "
+              f"raw events >= legacy sibling "
+              f"{cur_l.get('events_dispatched'):,}; chaining is dead")
+        return 1
+
+    limit = baseline * (1.0 + SLACK)
+    verdict = "OK" if current <= limit else "FAIL"
+    print(f"{verdict}: kernel/legacy fig9 wall ratio {current:.3f} "
+          f"(run {args.label!r}: {cur_k['wall_s']:.3f}s / "
+          f"{cur_l['wall_s']:.3f}s) vs committed {baseline:.3f} "
+          f"(label {base_k.get('label')!r}) + {SLACK:.0%} slack "
+          f"= limit {limit:.3f}")
+    return 0 if current <= limit else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
