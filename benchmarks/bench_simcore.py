@@ -193,7 +193,7 @@ def run_long_idle(periodic=None, n_cores=1, accesses_per_core=6000, mpki=0.5):
     return eng.events_dispatched, wall, eng.raw_events_dispatched
 
 
-def run_fig9_segment(periodic=None, dram=None):
+def run_fig9_segment(periodic=None, dram=None, link=None):
     """Whole-system runs over a Fig. 9 scheme segment."""
     if periodic:
         os.environ["DORAM_PERIODIC"] = periodic
@@ -203,6 +203,10 @@ def run_fig9_segment(periodic=None, dram=None):
         os.environ["DORAM_DRAM"] = dram
     else:
         os.environ.pop("DORAM_DRAM", None)
+    if link:
+        os.environ["DORAM_LINK"] = link
+    else:
+        os.environ.pop("DORAM_LINK", None)
     trace_length = _fig9_trace_length()
     events = 0
     raw_events = 0
@@ -251,25 +255,47 @@ def test_simcore_throughput(benchmark):
         run_fig9_segment, "eager"
     )
     _append("fig9_segment", events, wall, events_dispatched=raw,
-            config="eager", dram="legacy", schemes=list(FIG9_SCHEMES),
+            config="eager", dram="legacy", link="legacy",
+            schemes=list(FIG9_SCHEMES),
             per_scheme_events=per_scheme, trace_length=trace_length)
 
     (events, wall, raw, per_scheme, trace_length) = benchmark.pedantic(
         lambda: _best_of(run_fig9_segment), rounds=1, iterations=1,
     )
     _append("fig9_segment", events, wall, events_dispatched=raw,
-            config="lazy", dram="legacy", schemes=list(FIG9_SCHEMES),
+            config="lazy", dram="legacy", link="legacy",
+            schemes=list(FIG9_SCHEMES),
             per_scheme_events=per_scheme, trace_length=trace_length)
 
-    # The batch-kernel sibling (lazy periodic mode, where chaining is
-    # live).  Results are byte-identical to the legacy rows -- the
-    # conformance suite pins that -- so ``events`` matches and only
-    # wall time and the raw dispatch census may differ.
+    # The backend-kernel siblings (lazy periodic mode, where chaining
+    # and pipeline fusion are live).  Results are byte-identical to the
+    # legacy rows -- the conformance suites pin that -- so ``events``
+    # matches and only wall time and the raw dispatch census may
+    # differ.  One axis at a time (the ratio gates in
+    # tools/check_kernel_perf.py judge each against the pure-legacy
+    # sibling above), plus the combined row for the trajectory.
     events, wall, raw, per_scheme, trace_length = _best_of(
         run_fig9_segment, None, "kernel"
     )
     _append("fig9_segment", events, wall, events_dispatched=raw,
-            config="lazy", dram="kernel", schemes=list(FIG9_SCHEMES),
+            config="lazy", dram="kernel", link="legacy",
+            schemes=list(FIG9_SCHEMES),
+            per_scheme_events=per_scheme, trace_length=trace_length)
+
+    events, wall, raw, per_scheme, trace_length = _best_of(
+        run_fig9_segment, None, None, "kernel"
+    )
+    _append("fig9_segment", events, wall, events_dispatched=raw,
+            config="lazy", dram="legacy", link="kernel",
+            schemes=list(FIG9_SCHEMES),
+            per_scheme_events=per_scheme, trace_length=trace_length)
+
+    events, wall, raw, per_scheme, trace_length = _best_of(
+        run_fig9_segment, None, "kernel", "kernel"
+    )
+    _append("fig9_segment", events, wall, events_dispatched=raw,
+            config="lazy", dram="kernel", link="kernel",
+            schemes=list(FIG9_SCHEMES),
             per_scheme_events=per_scheme, trace_length=trace_length)
 
 

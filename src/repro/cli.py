@@ -128,6 +128,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         os.environ["DORAM_PERIODIC"] = args.periodic
     if args.dram:
         os.environ["DORAM_DRAM"] = args.dram
+    if args.link:
+        os.environ["DORAM_LINK"] = args.link
     result = run_scheme(args.scheme, args.benchmark, args.trace_length,
                         faults=faults)
     print(f"scheme={args.scheme} benchmark={args.benchmark} "
@@ -216,6 +218,38 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _component_rollup(stats, top: int) -> List[Tuple[str, float, int]]:
+    """Group a pstats table by ``repro.*`` module.
+
+    Sums per-function *self* time (tottime) per module -- unlike
+    summing cumulative time, self time adds up without double-counting
+    intra-module calls, so the rows attribute the profile's total to
+    components.  Non-repro frames (stdlib, builtins) collapse into an
+    ``<other>`` row.  Returns ``(module, self_seconds, calls)`` rows,
+    largest first, truncated to ``top``.
+    """
+    per_module: Dict[str, List[float]] = {}
+    for (filename, _lineno, _funcname), row in stats.stats.items():
+        _cc, ncalls, tottime, _ct = row[0], row[1], row[2], row[3]
+        module = "<other>"
+        marker = os.sep + "repro" + os.sep
+        index = filename.find(marker)
+        if index >= 0:
+            module = (
+                filename[index + 1:]
+                .rsplit(".py", 1)[0]
+                .replace(os.sep, ".")
+            )
+        bucket = per_module.setdefault(module, [0.0, 0])
+        bucket[0] += tottime
+        bucket[1] += ncalls
+    rows = sorted(
+        ((mod, t, int(n)) for mod, (t, n) in per_module.items()),
+        key=lambda r: r[1], reverse=True,
+    )
+    return rows[:top]
+
+
 def cmd_perf(args: argparse.Namespace) -> int:
     """Profile one scheme run under cProfile.
 
@@ -234,17 +268,28 @@ def cmd_perf(args: argparse.Namespace) -> int:
         return _fail(error)
     if args.dram:
         os.environ["DORAM_DRAM"] = args.dram
+    if args.link:
+        os.environ["DORAM_LINK"] = args.link
     profiler = cProfile.Profile()
     profiler.enable()
     result = run_scheme(args.scheme, args.benchmark, args.trace_length)
     profiler.disable()
     backend = os.environ.get("DORAM_DRAM", "legacy") or "legacy"
+    link_backend = os.environ.get("DORAM_LINK", "legacy") or "legacy"
     print(f"scheme={args.scheme} benchmark={args.benchmark} "
-          f"trace={args.trace_length} dram={backend}: "
+          f"trace={args.trace_length} dram={backend} link={link_backend}: "
           f"{result.events:,} events ({result.raw_events:,} dispatched)")
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats(args.sort)
     stats.print_stats(args.top)
+    if args.by_component:
+        rows = _component_rollup(stats, args.top)
+        total = sum(r[1] for r in rows) or 1.0
+        print("\nper-component rollup (self time per repro.* module):")
+        print(f"  {'module':<32} {'self_s':>9} {'share':>6} {'calls':>12}")
+        for module, seconds, calls in rows:
+            print(f"  {module:<32} {seconds:>9.3f} "
+                  f"{seconds / total:>6.1%} {calls:>12,}")
     if args.output:
         stats.dump_stats(args.output)
         print(f"wrote {args.output} (load with pstats or snakeviz)")
@@ -428,6 +473,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         os.environ["DORAM_PERIODIC"] = args.periodic
     if args.dram:
         os.environ["DORAM_DRAM"] = args.dram
+    if args.link:
+        os.environ["DORAM_LINK"] = args.link
     overrides: Dict[str, object] = {
         "num_tenants": args.tenants,
         "arrival.kind": args.arrival,
@@ -517,6 +564,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="DRAM service backend (DORAM_DRAM); legacy is "
                             "the object-per-bank oracle, kernel the batched "
                             "struct-of-arrays path")
+    p_run.add_argument("--link", choices=("legacy", "kernel"), default="",
+                       help="secure-link pipeline backend (DORAM_LINK); "
+                            "legacy is the per-packet oracle, kernel "
+                            "macro-steps whole pacer periods")
     p_run.add_argument("--faults", default="",
                        help="arm a fault-plan JSON file "
                             "(see 'doram faults --dry-run')")
@@ -586,6 +637,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--trace-length", type=int, default=2000)
     p_perf.add_argument("--dram", choices=("legacy", "kernel"), default="",
                         help="DRAM service backend (DORAM_DRAM)")
+    p_perf.add_argument("--link", choices=("legacy", "kernel"), default="",
+                        help="secure-link pipeline backend (DORAM_LINK)")
+    p_perf.add_argument("--by-component", action="store_true",
+                        help="also print cumulative time rolled up per "
+                             "repro.* module (--top rows)")
     p_perf.add_argument("--top", type=int, default=25,
                         help="number of functions to print (default 25)")
     p_perf.add_argument("--sort", default="cumulative",
@@ -641,6 +697,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="periodic-stream mode (DORAM_PERIODIC)")
     p_serve.add_argument("--dram", choices=("legacy", "kernel"), default="",
                          help="DRAM service backend (DORAM_DRAM)")
+    p_serve.add_argument("--link", choices=("legacy", "kernel"), default="",
+                         help="secure-link pipeline backend (DORAM_LINK)")
     p_serve.add_argument("--digest", action="store_true",
                          help="trace the run and print its event digest")
     p_serve.add_argument("--json", default="",

@@ -1,0 +1,300 @@
+"""Macro-stepping kernel for the frontend-link-delegator pipeline.
+
+Opt-in via ``DORAM_LINK=kernel`` (``--link kernel`` on ``run`` / ``serve``
+/ ``perf``), mirroring the ``DORAM_DRAM`` axis.  The legacy
+:class:`~repro.core.frontend.DelegatorBackend` /
+:class:`~repro.core.delegator.SecureDelegator` /
+:class:`~repro.core.frontend.OramFrontend` trio stays the bit-exact
+differential oracle; the kernel classes here produce the identical
+logical event stream (stats, component traces, leakage-audit inputs,
+``events_dispatched`` census) while eliding the per-packet push/pop
+round trips of the paper's fixed-rate pipeline.
+
+Why this is compilable at all: D-ORAM's security argument (Section
+III-B) makes the secure-link traffic *deterministic* -- one 72 B request
+packet every ``t`` cycles after the previous response, one 72 B response
+per request, constant SD decrypt/verify and CPU decrypt/check delays.
+Every hop of a pacer period is therefore a constant-latency edge whose
+successor event is known at schedule time, which is exactly the shape
+:attr:`Engine.batch_inline_ok` fusion consumes.  Under fusion the whole
+period advances as one call chain (the pipeline analogue of the PR 7
+DRAM chain loop)::
+
+    _on_response          -- pacer rebases, closed-form next slot
+      -> _emit            -- fused across the idle gap (synthesized)
+        -> send_down_tail -- down-link delivery fused (synthesized)
+          -> stage 0      -- SD intake, trace preamble
+            -> hop fusion -- SD process delay fused (synthesized)
+              -> OramSequencer.submit -> begin_read
+                 (DRAM work runs in the PR 7 KernelChannel chain loop;
+                  the stack unwinds here -- completions are pushed)
+    ...read phase done -> respond (tail)
+      -> stage 1 -> send_up_tail   -- up-link delivery fused
+        -> stage 2                 -- CPU decrypt hop fused
+          -> _on_response          -- next period
+
+Each fusion site independently re-checks the strictly-next guard
+(``engine.peek_time()``), so any concurrent work -- NS-core wakes, the
+overlapping ORAM write phase, another tenant's hop -- falls back to an
+ordinary push at that site only, preserving the exact unfused schedule.
+
+Multi-period fast-forward: the pacer's
+:class:`~repro.sim.periodic.PeriodicStream` computes the next emission
+slot in closed form (``rebase`` never materializes intermediate slots,
+PR 4), so the quiescent-delegator jump from a response to the next
+emission is O(1) in the gap length -- one ``engine.now`` assignment --
+no matter how many pacer periods of idle time it crosses.
+
+Fallback rules (per-packet stepping, zero digest drift):
+
+* ``engine.batch_inline_ok`` false (eager periodic oracle mode, or the
+  per-dispatch engine trace category enabled): every kernel class defers
+  to the *literal* legacy code path, including allocating the legacy
+  ``_DelegatorOp``, so the dispatch schedule matches (time, seq) for
+  (time, seq) -- only the engine-trace ``fn`` qualnames show the kernel
+  class names.
+* Fault-armed runs (``--faults``): the system builder never selects the
+  kernel classes at all -- recovery frames, NAK retransmission and
+  armed-empty plans run the legacy per-packet machinery, whose schedule
+  the recovery protocol's leakage audit is pinned against.
+* A fault site armed directly on a link: ``SerialLink.send_tail``
+  already reroutes to the faulty per-packet path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.core.config import PACKET_BYTES
+from repro.core.delegator import SecureDelegator
+from repro.core.frontend import DelegatorBackend, OramFrontend, _DelegatorOp
+
+
+class _KernelDelegatorOp:
+    """Flyweight round-trip op: one instance per backend, reset per use.
+
+    The frontend is stop-and-wait (at most one request in flight per
+    backend), so the per-access ``_DelegatorOp`` allocation of the
+    legacy path can be interned into a single reusable object.  Stage
+    dispatch is table-driven: ``__call__`` indexes :data:`_STAGES` with
+    the stage counter instead of re-testing it.
+
+    Stage 0: request packet at the SD -> delegator intake.
+    Stage 1: read phase done -> response packet up the link (tail, so
+    the delivery may fuse).
+    Stage 2: response at the CPU -> ``on_response`` after the CPU-side
+    decrypt/check delay, fused when strictly next.
+    """
+
+    __slots__ = ("backend", "block_id", "on_response", "stage")
+
+    def __init__(self, backend: "KernelDelegatorBackend") -> None:
+        self.backend = backend
+        self.block_id: Optional[int] = None
+        self.on_response: Optional[Callable[[int], None]] = None
+        self.stage = 0
+
+    def _stage0(self, time: int) -> None:
+        backend = self.backend
+        self.stage = 1
+        backend.delegator.receive_request(
+            self.block_id, self, backend.controller
+        )
+
+    def _stage1(self, time: int) -> None:
+        # SD -> CPU response packet.  The sequencer's respond call is in
+        # tail position (begin_write already issued), so the delivery
+        # may run inline.
+        self.stage = 2
+        self.backend.secure_bob.send_up_tail(PACKET_BYTES, self)
+
+    def _stage2(self, time: int) -> None:
+        backend = self.backend
+        engine = backend.engine
+        when = time + backend.cpu_process_ticks
+        if engine.batch_inline_ok and not engine._stopped:
+            until = engine._run_until
+            nxt = engine.peek_time()
+            if (nxt is None or nxt > when) and (
+                until is None or when <= until
+            ):
+                # The decrypt/check hop is the strictly-next event and
+                # we are in tail position (invoked from a link delivery
+                # that scheduled nothing after us): run it here as one
+                # synthesized occurrence.
+                engine._synthesized += 1
+                engine.now = when
+                self.on_response(when)
+                return
+        engine.call_at(when, self.on_response, when)
+
+    _STAGES = (_stage0, _stage1, _stage2)
+
+    def __call__(self, time: int) -> None:
+        self._STAGES[self.stage](self, time)
+
+
+class KernelDelegatorBackend(DelegatorBackend):
+    """:class:`DelegatorBackend` with the flyweight op + tail-fused send."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._op = _KernelDelegatorOp(self)
+
+    def submit(
+        self, block_id: Optional[int], on_response: Callable[[int], None]
+    ) -> None:
+        if not self.engine.batch_inline_ok:
+            # Oracle mode: byte-identical legacy path (same allocation,
+            # same engine-trace labels).
+            self.secure_bob.send_down(
+                PACKET_BYTES, _DelegatorOp(self, block_id, on_response)
+            )
+            return
+        op = self._op
+        op.block_id = block_id
+        op.on_response = on_response
+        op.stage = 0
+        # The caller (OramFrontend._emit) is in tail position, so the
+        # down-link delivery may fuse.
+        self.secure_bob.send_down_tail(PACKET_BYTES, op)
+
+
+class KernelSecureDelegator(SecureDelegator):
+    """:class:`SecureDelegator` with a fused/flattened intake hop.
+
+    The decrypt+authenticate+position-map delay between packet arrival
+    and sequencer submission is a constant (``process_ticks``), so the
+    per-request closure of the legacy path is replaced by (a) inline
+    fusion when the hop is the engine's strictly-next event, else (b) a
+    parallel-deque FIFO drained by one prebound callback -- correct
+    because a constant delay over monotonic ``engine.now`` preserves
+    FIFO order, and a fused hop can never overtake a queued one (the
+    queued hop's event time bounds the strictly-next guard).
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Parallel arrays for hops waiting out process_ticks (several
+        # can be in flight when tenants share one SD).
+        self._hop_blocks: Deque[Optional[int]] = deque()
+        self._hop_responds: Deque[Callable[[int], None]] = deque()
+        self._hop_controllers: Deque[object] = deque()
+        #: Lazily bound ``requests`` counter add (bound on first
+        #: request, keeping the StatSet identical to legacy for a run
+        #: that never receives one).
+        self._requests_add: Optional[Callable[[], None]] = None
+
+    def receive_request(
+        self,
+        block_id: Optional[int],
+        respond: Callable[[int], None],
+        controller=None,
+    ) -> None:
+        if self.sequencer is None:
+            raise RuntimeError("delegator not wired to a controller")
+        add = self._requests_add
+        if add is None:
+            add = self._requests_add = self.stats.counter("requests").add
+        add()
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "sd", "request", self.name, self.engine.now,
+                {
+                    "real": int(block_id is not None),
+                    "queued": int(self.sequencer.busy),
+                },
+            )
+        engine = self.engine
+        if not engine.batch_inline_ok:
+            # Oracle mode: the legacy per-request closure, so the
+            # scheduled event is label-identical under engine tracing.
+            engine.after(
+                self.process_ticks,
+                lambda: self.sequencer.submit(block_id, respond, controller),
+            )
+            return
+        when = engine.now + self.process_ticks
+        if not engine._stopped and not self._hop_blocks:
+            until = engine._run_until
+            nxt = engine.peek_time()
+            if (nxt is None or nxt > when) and (
+                until is None or when <= until
+            ):
+                # Our caller (op stage 0, itself a link delivery) is in
+                # tail position; the hop is strictly next: run it here.
+                engine._synthesized += 1
+                engine.now = when
+                self.sequencer.submit(block_id, respond, controller)
+                return
+        self._hop_blocks.append(block_id)
+        self._hop_responds.append(respond)
+        self._hop_controllers.append(controller)
+        engine.after(self.process_ticks, self._drain_hop)
+
+    def _drain_hop(self) -> None:
+        self.sequencer.submit(
+            self._hop_blocks.popleft(),
+            self._hop_responds.popleft(),
+            self._hop_controllers.popleft(),
+        )
+
+
+class KernelOramFrontend(OramFrontend):
+    """:class:`OramFrontend` with the response->next-emit gap fused.
+
+    ``_on_response`` is the top of every pacer period: after the
+    response bookkeeping the pacer computes the next emission slot in
+    closed form and, when that slot is the engine's strictly-next event,
+    the emit runs inline -- jumping ``engine.now`` across the entire
+    idle gap in one synthesized occurrence instead of a push/pop.
+    """
+
+    def _on_response(self, time: int) -> None:
+        self._inflight = False
+        issued_at = self._resp_issued_at
+        on_complete = self._resp_on_complete
+        self._resp_on_complete = None
+        self._response_record(time - issued_at)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.instant(
+                "oram", "response", self.name, time,
+                {"lat": time - issued_at, "real": int(self._resp_real)},
+            )
+        if on_complete is not None and not self._resp_is_write:
+            on_complete(time)
+        emit_at = self.pacer.response_received(time)
+        engine = self.engine
+        if (
+            engine.batch_inline_ok
+            and not engine._stopped
+            and not self._emit_scheduled
+        ):
+            # Guards evaluated *after* on_complete ran: a core wake it
+            # scheduled (or any time it advanced) is visible here.
+            if emit_at < engine.now:
+                emit_at = engine.now
+            until = engine._run_until
+            nxt = engine.peek_time()
+            if (nxt is None or nxt > emit_at) and (
+                until is None or emit_at <= until
+            ):
+                engine._synthesized += 1
+                engine.now = emit_at
+                self._emit()
+                return
+        self._schedule_emit(emit_at)
+
+
+def link_classes(engine):
+    """Frontend/backend/delegator classes for ``engine.link_backend``.
+
+    Fault-armed systems must not call this -- they wire the legacy
+    recovery machinery directly (see the module docstring's fallback
+    rules).
+    """
+    if engine.link_backend == "kernel":
+        return KernelOramFrontend, KernelDelegatorBackend, KernelSecureDelegator
+    return OramFrontend, DelegatorBackend, SecureDelegator

@@ -475,6 +475,25 @@ def build_and_run(config: SystemConfig,
     delegator: Optional[SecureDelegator] = None
     s_app_id = config.num_ns_apps  # first S-App id
 
+    # Link-pipeline implementation (DORAM_LINK).  Fault-armed runs always
+    # take the legacy per-packet classes: recovery frames, NAKs and
+    # armed-empty plans are pinned against the per-packet schedule
+    # (link_kernel module docstring, fallback rules).
+    if engine.link_backend == "kernel" and faults is None:
+        from repro.core.link_kernel import (
+            KernelDelegatorBackend,
+            KernelOramFrontend,
+            KernelSecureDelegator,
+        )
+
+        frontend_cls: type = KernelOramFrontend
+        backend_cls: type = KernelDelegatorBackend
+        delegator_cls: type = KernelSecureDelegator
+    else:
+        frontend_cls = OramFrontend
+        backend_cls = DelegatorBackend
+        delegator_cls = SecureDelegator
+
     if config.has_s_app:
         if config.protection == "path":
             ocfg = config.effective_oram()
@@ -497,7 +516,7 @@ def build_and_run(config: SystemConfig,
                                             tracer=tracer)
                 controllers.append(controller)
                 backend = OnChipBackend(engine, controller)
-                frontend = OramFrontend(engine, backend,
+                frontend = frontend_cls(engine, backend,
                                         t_cycles=config.t_cycles,
                                         tracer=tracer)
                 frontend.start()
@@ -509,7 +528,7 @@ def build_and_run(config: SystemConfig,
                     ch: bob for ch, bob in bobs.items()
                     if ch != config.secure_channel
                 }
-                delegator = SecureDelegator(
+                delegator = delegator_cls(
                     engine, secure_bob, normal_bobs,
                     process_ns=config.sd_process_ns, app_id=s_app_id,
                     merge_short_reads=config.merge_short_reads,
@@ -584,10 +603,10 @@ def build_and_run(config: SystemConfig,
                         )
                         backend = FailoverBackend(session)
                     else:
-                        backend = DelegatorBackend(
+                        backend = backend_cls(
                             engine, secure_bob, delegator, controller=ctrl
                         )
-                    frontend = OramFrontend(
+                    frontend = frontend_cls(
                         engine, backend, t_cycles=config.t_cycles,
                         name=f"oram_fe{s_index}", tracer=tracer,
                     )

@@ -178,9 +178,15 @@ def build_scenario(
     normal_bobs = {
         ch: bob for ch, bob in bobs.items() if ch not in secure_set
     }
+    # Link-pipeline classes (DORAM_LINK).  Tenant faults are modeled at
+    # the arrival-stream layer -- no link/SD fault sites are armed here
+    # -- so the kernel classes are safe whenever the axis selects them.
+    from repro.core.link_kernel import link_classes
+
+    frontend_cls, backend_cls, delegator_cls = link_classes(engine)
     delegators: Dict[int, SecureDelegator] = {}
     for sc in sorted(secure_set):
-        delegators[sc] = SecureDelegator(
+        delegators[sc] = delegator_cls(
             engine, bobs[sc], normal_bobs,
             process_ns=config.sd_process_ns,
             app_id=_SD_APP_ID_BASE + sc,
@@ -222,11 +228,11 @@ def build_scenario(
     monitor = _DrainMonitor(engine, sources)
     for tenant_id in range(config.num_tenants):
         sc = config.secure_channel_of(tenant_id)
-        backend = DelegatorBackend(
+        backend = backend_cls(
             engine, bobs[sc], delegators[sc],
             controller=controllers[tenant_id],
         )
-        frontend = OramFrontend(
+        frontend = frontend_cls(
             engine, backend, t_cycles=config.t_cycles,
             name=f"oram_fe{tenant_id}", tracer=tracer,
         )

@@ -141,6 +141,9 @@ class Engine:
         dram = os.environ.get("DORAM_DRAM", "legacy")
         if dram not in ("legacy", "kernel"):
             raise ValueError(f"unknown DRAM backend {dram!r}")
+        link = os.environ.get("DORAM_LINK", "legacy")
+        if link not in ("legacy", "kernel"):
+            raise ValueError(f"unknown link backend {link!r}")
         self.now: int = 0
         self._queue: List[EventHandle] = []
         self._seq = 0
@@ -158,6 +161,13 @@ class Engine:
         #: batch kernel (:mod:`repro.dram.kernel`).  The system builder
         #: reads this to pick the channel class.
         self.dram_backend = dram
+        #: Secure-link pipeline implementation (``DORAM_LINK``):
+        #: ``"legacy"`` is the per-packet SerialLink/SecureDelegator
+        #: oracle, ``"kernel"`` the macro-stepping pipeline kernel
+        #: (:mod:`repro.core.link_kernel`).  The system builder reads
+        #: this to pick the frontend/delegator classes; fault-armed runs
+        #: always fall back to the legacy classes (per-packet stepping).
+        self.link_backend = link
         #: The active ``run(until=...)`` bound (``None`` outside a
         #: bounded run).  Batch kernels consult it so inline chains never
         #: execute events the bounded dispatch loop would have left
@@ -180,7 +190,7 @@ class Engine:
         #: dispatch-per-event behavior, preserving it as the bit-exact
         #: differential oracle.
         self.batch_inline_ok = (
-            dram == "kernel"
+            (dram == "kernel" or link == "kernel")
             and self.lazy_periodic
             and not self._tracer.enabled
         )

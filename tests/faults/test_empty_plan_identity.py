@@ -9,6 +9,8 @@ every scheduler backend (heap/wheel) x periodic mode (eager/lazy)
 combination the engine supports.
 """
 
+import os
+
 import pytest
 
 from repro.faults import FaultController, FaultPlan
@@ -37,7 +39,14 @@ class TestEmptyPlanIdentity:
             trace_digest(bare_tracer.events)
         assert armed_result.to_json_dict() == bare_result.to_json_dict()
         assert armed_result.events == bare_result.events
-        assert armed_result.raw_events == bare_result.raw_events
+        if os.environ.get("DORAM_LINK") != "kernel":
+            # Under the link kernel, arming a plan (even an empty one)
+            # deliberately forces the per-packet legacy pipeline --
+            # recovery frames and NAKs are pinned against that schedule
+            # -- so the *raw* dispatch count rises while every logical
+            # observable above stays identical.  The fallback itself is
+            # pinned by tests/core/test_link_kernel_oracle.py.
+            assert armed_result.raw_events == bare_result.raw_events
 
     @pytest.mark.parametrize("sched,periodic", BACKENDS)
     def test_identity_holds_on_every_engine_backend(

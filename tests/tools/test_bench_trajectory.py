@@ -1,0 +1,128 @@
+"""Schema validation on the benchmark trajectories.
+
+``tools/bench_trajectory.py`` guards the two append-only measurement
+files (``BENCH_sweep.json``, ``BENCH_sim.json``): malformed rows,
+out-of-order timestamps, and duplicate label+workload+config identities
+are refused before they land, so the ratio gates in
+``tools/check_kernel_perf.py`` always compare well-formed siblings.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..",
+                                "tools"))
+import bench_trajectory  # noqa: E402  (path shim above)
+
+
+def _fig9_row(**overrides):
+    row = {
+        "label": "test",
+        "workload": "fig9_segment",
+        "config": "lazy",
+        "dram": "legacy",
+        "link": "legacy",
+        "events": 1000,
+        "events_per_s": 500,
+        "events_dispatched": 900,
+        "wall_s": 2.0,
+        "schemes": ["baseline"],
+        "per_scheme_events": {"baseline": 1000},
+        "trace_length": 100,
+    }
+    row.update(overrides)
+    return row
+
+
+class TestValidate:
+    def test_complete_fig9_row_passes(self):
+        bench_trajectory.validate(_fig9_row(), [])
+
+    def test_missing_workload_key_refused(self):
+        row = _fig9_row()
+        del row["per_scheme_events"]
+        with pytest.raises(ValueError, match="per_scheme_events"):
+            bench_trajectory.validate(row, [])
+
+    def test_missing_base_key_refused(self):
+        row = _fig9_row()
+        del row["wall_s"]
+        with pytest.raises(ValueError, match="wall_s"):
+            bench_trajectory.validate(row, [])
+
+    def test_none_value_counts_as_missing(self):
+        with pytest.raises(ValueError, match="dram"):
+            bench_trajectory.validate(_fig9_row(dram=None), [])
+
+    def test_unknown_workload_needs_only_base_keys(self):
+        bench_trajectory.validate(
+            {"label": "test", "workload": "exotic", "wall_s": 1.0}, []
+        )
+
+    def test_sweep_row_without_workload_needs_only_base_keys(self):
+        bench_trajectory.validate(
+            {"label": "ci", "wall_s": 1.9, "points": 13, "workers": 2}, []
+        )
+
+    def test_monotonic_timestamps_enforced(self):
+        older = _fig9_row(timestamp="2026-08-01T00:00:00Z")
+        newer = _fig9_row(label="other",
+                          timestamp="2026-08-08T00:00:00Z")
+        bench_trajectory.validate(older, [])
+        with pytest.raises(ValueError, match="monotonic"):
+            bench_trajectory.validate(older, [newer])
+
+    def test_duplicate_identity_refused(self):
+        row = _fig9_row()
+        with pytest.raises(ValueError, match="duplicate"):
+            bench_trajectory.validate(_fig9_row(), [row])
+
+    def test_sibling_rows_are_not_duplicates(self):
+        # The same label re-measured on a different backend axis is the
+        # sibling-pair convention, not a duplicate.
+        legacy = _fig9_row()
+        bench_trajectory.validate(_fig9_row(link="kernel"), [legacy])
+        bench_trajectory.validate(_fig9_row(dram="kernel"), [legacy])
+        bench_trajectory.validate(_fig9_row(label="other"), [legacy])
+
+    def test_historical_rows_are_not_judged(self):
+        # Pre-link-axis rows lack the ``link`` key entirely; they stay
+        # in the file and only the *new* record must satisfy the schema.
+        old = _fig9_row()
+        del old["link"]
+        bench_trajectory.validate(_fig9_row(), [old])
+
+
+class TestAppend:
+    def test_append_validates_and_writes(self, tmp_path):
+        path = str(tmp_path / "BENCH_sim.json")
+        bench_trajectory.append(_fig9_row(), path=path)
+        with pytest.raises(ValueError, match="duplicate"):
+            bench_trajectory.append(_fig9_row(), path=path)
+        with open(path) as fp:
+            rows = json.load(fp)
+        assert len(rows) == 1
+        assert rows[0]["label"] == "test"
+        assert "timestamp" in rows[0]
+
+    def test_committed_trajectories_validate_one_by_one(self):
+        # Replay both committed files through the validator: every row
+        # must have been appendable at the time it was appended.
+        root = os.path.join(os.path.dirname(__file__), "..", "..")
+        for name in ("BENCH_sim.json", "BENCH_sweep.json"):
+            rows = bench_trajectory.load(os.path.join(root, name))
+            for i, row in enumerate(rows):
+                required = [
+                    key for key in bench_trajectory.BASE_KEYS
+                    if key not in row
+                ]
+                assert not required, f"{name}[{i}] missing {required}"
+                assert not any(
+                    bench_trajectory.identity(row)
+                    == bench_trajectory.identity(prior)
+                    for prior in rows[:i]
+                    if row.get("workload") is not None
+                ), f"{name}[{i}] duplicates an earlier identity"

@@ -12,6 +12,16 @@ trajectory across commits:
 ``BENCH_sweep.json`` is a JSON array of records; :func:`append` is the
 importable form.  Writes are atomic (tmp + ``os.replace``) and a
 corrupt or missing file restarts the trajectory instead of crashing.
+
+``benchmarks/bench_simcore.py`` reuses :func:`append` for
+``BENCH_sim.json``, whose rows the ratio gates in
+``tools/check_kernel_perf.py`` machine-compare.  To keep that file
+comparable, :func:`validate` rejects malformed appends before they land:
+every record needs the base keys, workload rows need their per-workload
+schema (:data:`WORKLOAD_KEYS`), timestamps must be monotonic within the
+trajectory, and a workload row whose identity (label + workload +
+config/backend axes) already exists is refused -- re-measuring means
+choosing a fresh label, never silently shadowing a committed sibling.
 """
 
 from __future__ import annotations
@@ -39,6 +49,71 @@ def load(path: Optional[str] = None) -> List[Dict[str, object]]:
         return []
 
 
+#: Keys every record must carry, whatever produced it.
+BASE_KEYS = ("label", "wall_s")
+
+#: Extra required keys per ``workload`` (the BENCH_sim.json rows).  A
+#: workload not listed here only needs :data:`BASE_KEYS` -- the schema
+#: constrains the rows the perf gates consume, it does not enumerate
+#: every experiment anyone may ever record.
+WORKLOAD_KEYS = {
+    "engine_only": ("events", "events_per_s", "events_dispatched"),
+    "channel_only": ("events", "events_per_s", "events_dispatched",
+                     "dram"),
+    "long_idle": ("events", "events_per_s", "events_dispatched",
+                  "config"),
+    "fig9_segment": ("events", "events_per_s", "events_dispatched",
+                     "config", "dram", "link", "schemes",
+                     "per_scheme_events", "trace_length"),
+    "link_pacer": ("events", "events_per_s", "events_dispatched",
+                   "link"),
+}
+
+#: What makes two workload rows "the same measurement": the sibling
+#: matchers in ``check_kernel_perf`` key on exactly these columns.
+IDENTITY_KEYS = ("label", "workload", "config", "dram", "link")
+
+
+def identity(record: Dict[str, object]) -> tuple:
+    return tuple(record.get(key) for key in IDENTITY_KEYS)
+
+
+def validate(record: Dict[str, object],
+             existing: List[Dict[str, object]]) -> None:
+    """Reject a malformed or duplicate append (raises ``ValueError``).
+
+    Only the *new* record is judged; historical rows predating a schema
+    key (e.g. ``link`` before the link-kernel axis existed) stay valid.
+    """
+    required = list(BASE_KEYS)
+    workload = record.get("workload")
+    if workload is not None:
+        required += list(WORKLOAD_KEYS.get(workload, ()))
+    missing = [key for key in required
+               if key not in record or record[key] is None]
+    if missing:
+        raise ValueError(
+            f"record {identity(record)!r} is missing required keys "
+            f"{missing} (workload schema {workload!r})"
+        )
+    if existing:
+        last = existing[-1].get("timestamp")
+        now = record.get("timestamp")
+        if last and now and str(now) < str(last):
+            raise ValueError(
+                f"timestamp {now!r} precedes the trajectory's last "
+                f"record ({last!r}); appends must be monotonic"
+            )
+    if workload is not None:
+        key = identity(record)
+        if any(identity(row) == key for row in existing):
+            raise ValueError(
+                f"duplicate row for identity {key!r}: this "
+                f"label+workload+config was already measured -- pick a "
+                f"fresh label instead of shadowing the committed row"
+            )
+
+
 def append(record: Dict[str, object],
            path: Optional[str] = None) -> Dict[str, object]:
     """Append one record (timestamp and derived rate filled in)."""
@@ -51,6 +126,7 @@ def append(record: Dict[str, object],
     if wall and points and "points_per_s" not in record:
         record["points_per_s"] = round(points / wall, 3)
     records = load(path)
+    validate(record, records)
     records.append(record)
     tmp = f"{path}.tmp-{os.getpid()}"
     with open(tmp, "w") as fp:

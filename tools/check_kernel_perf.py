@@ -1,10 +1,12 @@
-"""Perf-smoke gate for the DRAM batch kernel (DESIGN.md section 9b).
+"""Perf-smoke gate for the batch kernels (DESIGN.md sections 9b/9c).
 
 Absolute events/s floors are meaningless across heterogeneous runners,
 so the gate is ratio-based and host-speed-robust: within one
-``bench_simcore`` run the fig9 rows are same-machine siblings, and the
+``bench_simcore`` run the fig9 rows are same-machine siblings, and a
 kernel's wall time relative to its legacy sibling is a pure software
-property.  The check fails when
+property.  Per backend axis (``dram`` -- the PR 7 struct-of-arrays DRAM
+kernel; ``link`` -- the PR 8 pipeline macro-stepping kernel) the check
+fails when
 
     (kernel wall / legacy wall) of the newest run
         >  (kernel wall / legacy wall) of the committed baseline row
@@ -12,7 +14,10 @@ property.  The check fails when
 
 with 20 % slack for shared-runner noise.  The committed baseline is the
 most recent fig9 sibling pair whose label differs from the run under
-test (normally the locally measured rows committed with the PR).
+test (normally the locally measured rows committed with the PR).  Each
+axis is judged with the *other* axis at ``legacy``, so the two gates
+stay independent; rows predating an axis simply lack its key and count
+as ``legacy``.
 
 Usage: python tools/check_kernel_perf.py [BENCH_sim.json] [--label ci]
 """
@@ -26,18 +31,21 @@ DEFAULT_PATH = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_sim.json"
 )
 SLACK = 0.20
+AXES = ("dram", "link")
 
 
-def _sibling_ratio(rows, label=None, exclude_label=None):
-    """Newest fig9 kernel/legacy lazy wall ratio among matching rows,
+def _sibling_ratio(rows, axis, label=None, exclude_label=None):
+    """Newest fig9 kernel/legacy lazy wall ratio on one backend axis,
     with the rows it came from.  Rows are append-ordered; scan from the
     end so 'newest' is last-written."""
+    other = {"dram": "link", "link": "dram"}[axis]
 
-    def match(row, dram):
+    def match(row, backend):
         return (
             row.get("workload") == "fig9_segment"
             and row.get("config") == "lazy"
-            and row.get("dram") == dram
+            and row.get(axis, "legacy") == backend
+            and row.get(other, "legacy") == "legacy"
             and (label is None or row.get("label") == label)
             and (exclude_label is None or row.get("label") != exclude_label)
         )
@@ -49,46 +57,56 @@ def _sibling_ratio(rows, label=None, exclude_label=None):
     return kernel["wall_s"] / legacy["wall_s"], kernel, legacy
 
 
-def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("path", nargs="?", default=DEFAULT_PATH)
-    parser.add_argument("--label", default="ci",
-                        help="label of the run under test (default: ci)")
-    args = parser.parse_args(argv)
-
-    with open(args.path) as fp:
-        rows = json.load(fp)
-
-    current, cur_k, cur_l = _sibling_ratio(rows, label=args.label)
+def _check_axis(rows, axis, label):
+    current, cur_k, cur_l = _sibling_ratio(rows, axis, label=label)
     if current is None:
-        print(f"check_kernel_perf: no fig9 sibling pair labelled "
-              f"{args.label!r} in {args.path}", file=sys.stderr)
+        print(f"check_kernel_perf[{axis}]: no fig9 sibling pair labelled "
+              f"{label!r}", file=sys.stderr)
         return 2
     baseline, base_k, base_l = _sibling_ratio(
-        rows, exclude_label=args.label
+        rows, axis, exclude_label=label
     )
     if baseline is None:
-        print("check_kernel_perf: no committed baseline sibling pair; "
-              "nothing to gate against", file=sys.stderr)
+        print(f"check_kernel_perf[{axis}]: no committed baseline sibling "
+              f"pair; nothing to gate against", file=sys.stderr)
         return 2
 
     # The conformance layer owns correctness, but a backend that stops
     # eliding dispatches is a silent perf regression this file would
     # otherwise miss.
     if cur_k.get("events_dispatched", 0) >= cur_l.get("events_dispatched", 1):
-        print(f"FAIL: kernel dispatched {cur_k.get('events_dispatched'):,} "
-              f"raw events >= legacy sibling "
-              f"{cur_l.get('events_dispatched'):,}; chaining is dead")
+        print(f"FAIL[{axis}]: kernel dispatched "
+              f"{cur_k.get('events_dispatched'):,} raw events >= legacy "
+              f"sibling {cur_l.get('events_dispatched'):,}; "
+              f"chaining is dead")
         return 1
 
     limit = baseline * (1.0 + SLACK)
     verdict = "OK" if current <= limit else "FAIL"
-    print(f"{verdict}: kernel/legacy fig9 wall ratio {current:.3f} "
-          f"(run {args.label!r}: {cur_k['wall_s']:.3f}s / "
+    print(f"{verdict}[{axis}]: kernel/legacy fig9 wall ratio {current:.3f} "
+          f"(run {label!r}: {cur_k['wall_s']:.3f}s / "
           f"{cur_l['wall_s']:.3f}s) vs committed {baseline:.3f} "
           f"(label {base_k.get('label')!r}) + {SLACK:.0%} slack "
           f"= limit {limit:.3f}")
     return 0 if current <= limit else 1
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", nargs="?", default=DEFAULT_PATH)
+    parser.add_argument("--label", default="ci",
+                        help="label of the run under test (default: ci)")
+    parser.add_argument("--axis", choices=AXES, action="append",
+                        help="backend axis to gate (default: all)")
+    args = parser.parse_args(argv)
+
+    with open(args.path) as fp:
+        rows = json.load(fp)
+
+    status = 0
+    for axis in (args.axis or AXES):
+        status = max(status, _check_axis(rows, axis, args.label))
+    return status
 
 
 if __name__ == "__main__":
