@@ -6,7 +6,13 @@
   Section III-D / Fig. 12;
 * :mod:`~repro.analysis.experiments` -- one driver per paper table/figure,
   shared by the CLI and the benchmark harness (results are memoised per
-  process so Figs. 9, 11 and 13 reuse each other's runs).
+  process so Figs. 9, 11 and 13 reuse each other's runs);
+* :mod:`~repro.analysis.workqueue` -- lease-arbitrated multi-worker
+  drains of one shared sweep (``doram sweep --queue/--join``);
+* :mod:`~repro.analysis.model` -- the closed-form queueing approximation
+  of the D-ORAM pipeline plus its per-family calibration;
+* :mod:`~repro.analysis.explore` -- analytical triage + selective
+  simulation of configuration grids (``doram explore``).
 """
 
 from repro.analysis.metrics import (
@@ -16,6 +22,14 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.profiling import ProfileResult, profile_ratio
 from repro.analysis import experiments
+from repro.analysis.model import CalibratedModel, DoramModel, fit_families
+from repro.analysis.workqueue import (
+    DrainResult,
+    QueueStats,
+    WorkQueue,
+    run_queue_sweep,
+)
+from repro.analysis.explore import ExploreResult, build_grid, explore
 
 __all__ = [
     "normalized_times",
@@ -24,4 +38,14 @@ __all__ = [
     "ProfileResult",
     "profile_ratio",
     "experiments",
+    "CalibratedModel",
+    "DoramModel",
+    "fit_families",
+    "DrainResult",
+    "QueueStats",
+    "WorkQueue",
+    "run_queue_sweep",
+    "ExploreResult",
+    "build_grid",
+    "explore",
 ]

@@ -1,0 +1,503 @@
+"""Closed-form queueing approximation of the D-ORAM pipeline.
+
+The DES answers "what exactly happens" in minutes per point; design
+sweeps need "roughly where does this configuration land" in
+microseconds per point.  This module prices a :class:`SystemConfig`
+analytically -- no engine, no trace -- predicting the two axes every
+D-ORAM trade-off plot uses:
+
+* **NS-App mean read latency** (interference felt by the normal
+  applications), and
+* **S-App ORAM goodput** (protected accesses retired per second).
+
+The structure follows the pipeline the simulator implements
+(Sections III-B/III-C of the paper):
+
+1. the **pacer** emits one secure access every ``t_cycles`` CPU cycles
+   (real or dummy -- the fixed rate is the timing-channel defence), so
+   the offered ORAM rate is ``1 / (t_cycles * CPU_CYCLE_TICKS)`` per
+   tick;
+2. each access moves ``2 * levels_fetched * Z`` blocks (read + write
+   phase) as 72 B packets over the serial **link** -- per-direction
+   serialization is ``PACKET_BYTES / bytes_per_ns``;
+3. the **delegator (SD)** spends ``sd_process_ns`` per packet;
+4. the secure channel's **FR-FCFS sub-channels** service the blocks:
+   the subtree layout makes intra-path accesses row-friendly, so a
+   path costs its data bursts plus one activate/precharge per subtree
+   row, spread over ``secure_subchannels`` sub-channels (and, under
+   the preallocation policy, only ``secure_share`` of that capacity);
+5. **D-ORAM+k** relocates ``k`` levels' blocks to the ``num_channels-1``
+   normal channels (short read packets), and **D-ORAM/c** lets ``c``
+   NS-Apps interleave across the secure channel too.
+
+Each stage yields a per-access busy time; the slowest is the pipeline
+service time ``s``.  With deterministic arrivals (the pacer) and
+near-deterministic service, waiting follows the M/D/1 form
+``W = s * rho / (2 (1 - rho))``, extended past ``rho_max`` by a linear
+saturation ramp so the prediction stays finite *and monotone* --
+monotonicity (latency non-decreasing in arrival rate; per-tenant
+goodput non-increasing in tenants) is the property the explore loop's
+frontier triage relies on, and the test suite pins it.
+
+The raw model is a *trend* model: absolute scale is absorbed by a
+per-family linear calibration (``sim ~= a * pred + b``, least squares
+over a handful of simulated anchor points; family = architecture +
+placement + split depth).  :class:`CalibratedModel` carries those
+coefficients; ``doram explore`` fits them from its anchor runs and
+records the residual model-vs-sim error in ``BENCH_explore.json``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import PACKET_BYTES, SHORT_PACKET_BYTES, SystemConfig
+from repro.sim.engine import CPU_CYCLE_TICKS, TICKS_PER_NS, ns
+from repro.trace.benchmarks import benchmark_by_code
+
+#: Utilization where the closed-form wait hands over to the linear
+#: saturation ramp.  Past this point the M/D/1 form is numerically
+#: explosive and the DES itself is backlog-dominated; the ramp keeps
+#: predictions finite, ordered, and strictly increasing in load.
+RHO_MAX = 0.96
+
+#: Slope of the saturation ramp, in multiples of the service time per
+#: unit of excess utilization.  Chosen steep enough that saturated
+#: configs always rank behind unsaturated ones.
+SAT_SLOPE = 50.0
+
+TICKS_PER_S = TICKS_PER_NS * 1e9
+
+
+def _mdl_wait(service: float, rho: float) -> float:
+    """M/D/1 mean wait with the monotone saturation extension."""
+    if service <= 0.0 or rho <= 0.0:
+        return 0.0
+    if rho < RHO_MAX:
+        return service * rho / (2.0 * (1.0 - rho))
+    knee = service * RHO_MAX / (2.0 * (1.0 - RHO_MAX))
+    return knee + (rho - RHO_MAX) * SAT_SLOPE * service
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One configuration priced analytically."""
+
+    #: Mean NS-App read latency, microseconds.
+    ns_latency_us: float
+    #: S-App ORAM accesses retired per second (aggregate).
+    goodput_rps: float
+    #: Per-tenant goodput when ``tenants`` S-Apps share the delegator.
+    goodput_per_tenant_rps: float
+    #: Pipeline utilization of the secure path's bottleneck stage.
+    secure_util: float
+    #: Highest NS-visible channel utilization.
+    ns_util: float
+    #: Which stage bounds the secure pipeline: link / sd / dram.
+    bottleneck: str
+    #: Per-stage busy times (ticks per ORAM access), for reports.
+    components: Dict[str, float] = field(default_factory=dict)
+
+
+class DoramModel:
+    """White-box trend model of the simulated machine.
+
+    All internal arithmetic is in engine ticks (so the constants are
+    shared verbatim with the DES); conversions to microseconds and
+    requests/second happen at the edges.
+    """
+
+    def __init__(self, rho_max: float = RHO_MAX) -> None:
+        self.rho_max = rho_max
+
+    # -- family key for calibration -------------------------------------
+    @staticmethod
+    def family(config: SystemConfig) -> str:
+        """Calibration family: machines that share linear error scale.
+
+        Architecture + delegation placement + split depth: the split
+        moves traffic between channel classes, which changes the slope
+        of model error, while ``c``/``t`` sweeps within a family move
+        along it.
+        """
+        return (
+            f"{config.arch}-{config.protection}-"
+            f"{config.oram_placement}-k{config.split_k}"
+        )
+
+    # -- secure-pipeline pricing ----------------------------------------
+    def secure_stage_busy(self, config: SystemConfig) -> Dict[str, float]:
+        """Per-ORAM-access busy time (ticks) of each pipeline stage."""
+        if not config.has_s_app or config.protection != "path":
+            return {"link": 0.0, "sd": 0.0, "dram": 0.0, "remote": 0.0}
+        oram = config.effective_oram()
+        levels_local = max(oram.levels_fetched - config.split_k, 1)
+        blocks_local = 2 * levels_local * oram.bucket_size
+        blocks_remote = 2 * config.split_k * oram.bucket_size
+
+        if config.oram_placement == "delegated":
+            ser = PACKET_BYTES / config.link_params.bytes_per_ns \
+                * TICKS_PER_NS
+            link = blocks_local * ser
+            sd = (blocks_local + blocks_remote) * ns(config.sd_process_ns)
+        else:
+            link = 0.0
+            sd = 0.0
+
+        timing = config.dram_timing
+        # Subtree packing: one activate/precharge pair per subtree row
+        # touched, data bursts for every block; banks across the
+        # sub-channels overlap the activates.
+        rows = max(1.0, levels_local / max(oram.subtree_levels, 1))
+        act = rows * (timing.tRCD + timing.tRP) \
+            / config.channel_params.num_banks
+        subchannels = (
+            config.secure_subchannels if config.arch == "bob"
+            else config.num_channels
+        )
+        dram = (blocks_local * timing.tBURST + act) / max(subchannels, 1)
+        # The preallocation policy reserves only ``secure_share`` of the
+        # shared channel for the secure class once NS-Apps land on it.
+        if self._ns_apps_on_secure(config) > 0:
+            dram /= config.secure_share
+
+        remote = 0.0
+        if blocks_remote:
+            normal_channels = max(config.num_channels - 1, 1)
+            remote_ser = SHORT_PACKET_BYTES / config.link_params.bytes_per_ns \
+                * TICKS_PER_NS
+            remote = blocks_remote * (
+                timing.tBURST + remote_ser
+            ) / normal_channels
+        return {"link": link, "sd": sd, "dram": dram, "remote": remote}
+
+    def _ns_apps_on_secure(self, config: SystemConfig) -> int:
+        base = config.ns_channels or tuple(range(config.num_channels))
+        if config.secure_channel not in base:
+            return 0
+        if config.c_limit is None:
+            return config.num_ns_apps
+        return config.c_limit
+
+    def arrival_period_ticks(self, config: SystemConfig) -> float:
+        """Pacer period: one secure access per ``t_cycles`` CPU cycles."""
+        return float(config.t_cycles * CPU_CYCLE_TICKS)
+
+    def secure_service_ticks(self, config: SystemConfig) -> Tuple[str, float]:
+        """Bottleneck stage name and its per-access busy time."""
+        busy = self.secure_stage_busy(config)
+        dram_total = busy["dram"] + busy["remote"]
+        stages = [("link", busy["link"]), ("sd", busy["sd"]),
+                  ("dram", dram_total)]
+        name, value = max(stages, key=lambda item: item[1])
+        return name, value
+
+    # -- goodput ----------------------------------------------------------
+    def goodput_rps(self, config: SystemConfig) -> float:
+        """Aggregate S-App ORAM accesses per second.
+
+        The pacer offers ``1/T`` accesses per tick; the pipeline
+        sustains ``1/s``.  Goodput is the smaller of the two -- the
+        pacer never overruns a saturated delegator, it stalls.
+        """
+        if not config.has_s_app or config.protection != "path":
+            return 0.0
+        period = self.arrival_period_ticks(config)
+        _, service = self.secure_service_ticks(config)
+        sustained = 1.0 / max(period, service)
+        return sustained * TICKS_PER_S
+
+    def goodput_per_tenant_rps(self, config: SystemConfig,
+                               tenants: Optional[int] = None) -> float:
+        """Per-tenant goodput when ``tenants`` S-Apps share the SD.
+
+        Each tenant paces independently, but the delegator pipeline is
+        one shared resource: per-tenant throughput is the solo rate
+        until the shared capacity ``1/s`` splits thinner than that --
+        ``min(solo, capacity / tenants)``, non-increasing in
+        ``tenants`` by construction.
+        """
+        if tenants is None:
+            tenants = config.num_s_apps
+        if tenants < 1:
+            raise ValueError("tenants must be >= 1")
+        solo = self.goodput_rps(config)
+        _, service = self.secure_service_ticks(config)
+        if service <= 0.0:
+            return solo
+        capacity = TICKS_PER_S / service
+        return min(solo, capacity / tenants)
+
+    # -- NS-App latency ----------------------------------------------------
+    def _ns_demand_per_tick(self, config: SystemConfig) -> float:
+        """One NS-App's offered read rate (misses per tick)."""
+        spec = benchmark_by_code(config.benchmark)
+        return spec.mpki / 1000.0 / CPU_CYCLE_TICKS
+
+    def _channel_populations(
+        self, config: SystemConfig
+    ) -> List[Tuple[int, float]]:
+        """(channel, NS-app-equivalents) pairs under the c-limit split.
+
+        Apps interleave uniformly across their allowed channels, so an
+        app allowed on ``m`` channels contributes ``1/m`` of its demand
+        to each.
+        """
+        base = config.ns_channels or tuple(range(config.num_channels))
+        loads = {ch: 0.0 for ch in base}
+        n = config.num_ns_apps
+        if (config.c_limit is None
+                or config.secure_channel not in base):
+            for ch in base:
+                loads[ch] += n / len(base)
+        else:
+            c = config.c_limit
+            normal = [ch for ch in base if ch != config.secure_channel]
+            for ch in base:
+                loads[ch] += c / len(base)
+            for ch in normal:
+                loads[ch] += (n - c) / len(normal)
+        return sorted(loads.items())
+
+    def ns_latency_us(self, config: SystemConfig,
+                      rate_scale: float = 1.0) -> float:
+        """Mean NS-App read latency (us); ``rate_scale`` scales the
+        per-app offered rate (the monotonicity hook)."""
+        if config.num_ns_apps == 0:
+            return 0.0
+        if rate_scale < 0.0:
+            raise ValueError("rate_scale must be >= 0")
+        timing = config.dram_timing
+        spec = benchmark_by_code(config.benchmark)
+        # Row-hit odds track streaming-ness; misses pay the full
+        # precharge + activate path.
+        hit = spec.stream_prob
+        service = timing.tBURST + (1.0 - hit) * (
+            timing.tRP + timing.tRCD
+        ) / config.channel_params.num_banks
+        base_latency = (
+            hit * timing.row_hit_latency
+            + (1.0 - hit) * timing.row_closed_latency
+        )
+        if config.arch == "bob":
+            line_ser = config.channel_params.line_bytes \
+                / config.link_params.bytes_per_ns * TICKS_PER_NS
+            base_latency += 2 * config.link_params.latency + line_ser
+
+        demand = self._ns_demand_per_tick(config) * rate_scale
+        busy = self.secure_stage_busy(config)
+        # ORAM accesses flow at the *sustained* rate -- the pacer
+        # period or, when the pipeline saturates first, its service
+        # time -- so remote-block residency on the normal channels is
+        # rated against that.
+        _, secure_service = self.secure_service_ticks(config)
+        effective_period = max(
+            self.arrival_period_ticks(config), secure_service, 1.0
+        )
+        remote_util = busy["remote"] / effective_period
+
+        populations = self._channel_populations(config)
+        total_apps = sum(apps for _, apps in populations)
+        weighted = 0.0
+        for ch, apps in populations:
+            if apps <= 0.0:
+                continue
+            is_secure = (
+                ch == config.secure_channel
+                and config.arch == "bob"
+                and config.has_s_app
+                and config.protection == "path"
+            )
+            subchannels = (
+                config.secure_subchannels if is_secure
+                else (config.normal_subchannels
+                      if config.arch == "bob" else 1)
+            )
+            capacity = subchannels / service
+            if is_secure:
+                # The preallocation policy caps the NS class at its
+                # share while the secure class is resident.
+                capacity *= (1.0 - config.secure_share)
+            elif (config.split_k > 0 and config.has_s_app
+                  and config.protection == "path"):
+                # Split-tree remote blocks occupy a slice of every
+                # normal channel; the NS class queues into the rest.
+                capacity *= max(1.0 - remote_util, 1e-3)
+            rho = apps * demand / capacity
+            wait = _mdl_wait(service, rho)
+            weighted += apps * (base_latency + wait)
+        mean_ticks = weighted / max(total_apps, 1e-12)
+        return mean_ticks / TICKS_PER_NS / 1000.0
+
+    # -- the full prediction ----------------------------------------------
+    def predict(self, config: SystemConfig,
+                tenants: Optional[int] = None) -> Prediction:
+        busy = self.secure_stage_busy(config)
+        bottleneck, service = self.secure_service_ticks(config)
+        period = self.arrival_period_ticks(config)
+        secure_util = min(service / period, 1.0) if period else 0.0
+        latency_us = self.ns_latency_us(config)
+        demand = self._ns_demand_per_tick(config)
+        timing = config.dram_timing
+        ns_util = 0.0
+        for _, apps in self._channel_populations(config):
+            ns_util = max(ns_util, apps * demand * timing.tBURST)
+        return Prediction(
+            ns_latency_us=latency_us,
+            goodput_rps=self.goodput_rps(config),
+            goodput_per_tenant_rps=self.goodput_per_tenant_rps(
+                config, tenants
+            ),
+            secure_util=secure_util,
+            ns_util=min(ns_util, 1.0),
+            bottleneck=bottleneck,
+            components=busy,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Per-family calibration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FamilyFit:
+    """``sim ~= a * pred + b`` for one (family, metric) pair."""
+
+    a: float
+    b: float
+    #: Anchor count behind the fit (1 point -> offset-only fit).
+    points: int
+
+    def apply(self, pred: float) -> float:
+        return self.a * pred + self.b
+
+
+def _least_squares(pairs: Sequence[Tuple[float, float]]) -> FamilyFit:
+    """Ordinary least squares of sim on pred, slope forced positive.
+
+    A non-positive slope would break the model's monotone ordering (the
+    property explore's triage depends on), so degenerate fits fall back
+    to a pure offset: ``a = 1, b = mean(sim - pred)``.
+    """
+    n = len(pairs)
+    if n == 0:
+        raise ValueError("cannot fit a family with no anchors")
+    mean_x = sum(p for p, _ in pairs) / n
+    mean_y = sum(s for _, s in pairs) / n
+    if n == 1:
+        return FamilyFit(a=1.0, b=mean_y - mean_x, points=1)
+    var = sum((p - mean_x) ** 2 for p, _ in pairs)
+    cov = sum((p - mean_x) * (s - mean_y) for p, s in pairs)
+    if var <= 0.0 or cov <= 0.0:
+        return FamilyFit(a=1.0, b=mean_y - mean_x, points=n)
+    a = cov / var
+    return FamilyFit(a=a, b=mean_y - a * mean_x, points=n)
+
+
+@dataclass
+class CalibratedModel:
+    """A :class:`DoramModel` wearing per-family linear corrections.
+
+    Families without anchors fall back to the global fit (all anchors
+    pooled), and with no anchors at all the raw model passes through.
+    """
+
+    model: DoramModel
+    #: family -> metric -> fit; ``"*"`` holds the pooled fallback.
+    fits: Dict[str, Dict[str, FamilyFit]] = field(default_factory=dict)
+
+    def _fit(self, family: str, metric: str) -> Optional[FamilyFit]:
+        for key in (family, "*"):
+            fit = self.fits.get(key, {}).get(metric)
+            if fit is not None:
+                return fit
+        return None
+
+    def predict(self, config: SystemConfig,
+                tenants: Optional[int] = None) -> Prediction:
+        raw = self.model.predict(config, tenants)
+        family = self.model.family(config)
+        lat_fit = self._fit(family, "latency_us")
+        good_fit = self._fit(family, "goodput_rps")
+        latency = raw.ns_latency_us
+        goodput = raw.goodput_rps
+        per_tenant = raw.goodput_per_tenant_rps
+        if lat_fit is not None:
+            latency = max(lat_fit.apply(latency), 0.0)
+        if good_fit is not None:
+            scale = (
+                good_fit.apply(goodput) / goodput if goodput > 0.0 else 1.0
+            )
+            goodput = max(good_fit.apply(goodput), 0.0)
+            per_tenant = max(per_tenant * scale, 0.0)
+        return Prediction(
+            ns_latency_us=latency,
+            goodput_rps=goodput,
+            goodput_per_tenant_rps=per_tenant,
+            secure_util=raw.secure_util,
+            ns_util=raw.ns_util,
+            bottleneck=raw.bottleneck,
+            components=raw.components,
+        )
+
+
+def fit_families(
+    model: DoramModel,
+    anchors: Sequence[Tuple[SystemConfig, float, float]],
+) -> CalibratedModel:
+    """Calibrate from ``(config, sim_latency_us, sim_goodput_rps)``
+    anchor measurements.
+
+    Deterministic: anchors are grouped by family and fitted with plain
+    least squares -- same anchors (in any order) give bit-identical
+    coefficients, which the test suite pins.
+    """
+    by_family: Dict[str, List[Tuple[float, float, float, float]]] = {}
+    pooled: List[Tuple[float, float, float, float]] = []
+    for config, sim_lat, sim_good in anchors:
+        raw = model.predict(config)
+        row = (raw.ns_latency_us, sim_lat, raw.goodput_rps, sim_good)
+        by_family.setdefault(model.family(config), []).append(row)
+        pooled.append(row)
+    fits: Dict[str, Dict[str, FamilyFit]] = {}
+    for family in sorted(by_family):
+        rows = sorted(by_family[family])
+        fits[family] = {
+            "latency_us": _least_squares(
+                [(r[0], r[1]) for r in rows]
+            ),
+            "goodput_rps": _least_squares(
+                [(r[2], r[3]) for r in rows]
+            ),
+        }
+    if pooled:
+        rows = sorted(pooled)
+        fits["*"] = {
+            "latency_us": _least_squares([(r[0], r[1]) for r in rows]),
+            "goodput_rps": _least_squares([(r[2], r[3]) for r in rows]),
+        }
+    return CalibratedModel(model=model, fits=fits)
+
+
+def relative_error(predicted: float, measured: float) -> float:
+    """|pred - sim| / |sim| with a floor against zero measurements."""
+    denom = max(abs(measured), 1e-12)
+    return abs(predicted - measured) / denom
+
+
+def error_summary(errors: Sequence[float]) -> Dict[str, float]:
+    """Mean and p95 of a relative-error sample (empty -> zeros)."""
+    if not errors:
+        return {"mean": 0.0, "p95": 0.0, "max": 0.0, "n": 0}
+    ordered = sorted(errors)
+    n = len(ordered)
+    p95_index = min(n - 1, max(0, math.ceil(0.95 * n) - 1))
+    return {
+        "mean": sum(ordered) / n,
+        "p95": ordered[p95_index],
+        "max": ordered[-1],
+        "n": n,
+    }

@@ -38,8 +38,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import signal
 import tempfile
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -239,6 +239,34 @@ class ResultStore:
     def __len__(self) -> int:
         return len(self.keys())
 
+    def stats(self) -> Dict[str, object]:
+        """Store occupancy summary for ``doram sweep --status``.
+
+        One directory walk: entry count and total payload bytes.  Cheap
+        enough to poll during a long distributed drain.
+        """
+        entries = 0
+        total_bytes = 0
+        for sub in os.listdir(self.root):
+            subdir = os.path.join(self.root, sub)
+            if not os.path.isdir(subdir):
+                continue
+            for name in os.listdir(subdir):
+                if not name.endswith(".json"):
+                    continue
+                entries += 1
+                try:
+                    total_bytes += os.path.getsize(
+                        os.path.join(subdir, name)
+                    )
+                except OSError:
+                    pass
+        return {
+            "root": self.root,
+            "entries": entries,
+            "bytes": total_bytes,
+        }
+
 
 # ---------------------------------------------------------------------------
 # Execution
@@ -292,6 +320,99 @@ def _run_point(point, with_digest: bool) -> Dict[str, object]:
     return _simulate_point(point, with_digest)
 
 
+def _run_with_deadline_main_thread(
+    point, with_digest: bool, timeout_s: float
+) -> Dict[str, object]:
+    """Deadline enforcement when we own the main thread.
+
+    A daemon :class:`threading.Timer` interrupts the main thread at the
+    deadline -- ``pthread_kill(SIGINT)`` where available, so even a
+    blocking syscall wakes; ``_thread.interrupt_main`` otherwise, which
+    lands between two bytecodes of the (pure-Python) simulation.  The
+    work actually *stops*, exactly like the old ``SIGALRM`` path, but
+    without the main-thread-only ``signal.signal`` restriction and
+    without needing ``SIGALRM`` to exist (Windows).  A genuine Ctrl-C
+    is distinguished by the ``fired`` flag: if the interrupt arrives
+    before the watchdog fired, it is re-raised untouched.
+    """
+    import _thread
+    import signal
+
+    fired = threading.Event()
+    main_ident = threading.main_thread().ident
+
+    def _expire() -> None:
+        fired.set()
+        try:
+            signal.pthread_kill(main_ident, signal.SIGINT)
+        except (AttributeError, ValueError, ProcessLookupError,
+                RuntimeError, OSError):
+            _thread.interrupt_main()
+
+    timer = threading.Timer(timeout_s, _expire)
+    timer.daemon = True
+    timer.start()
+    try:
+        result = _run_point(point, with_digest)
+    except KeyboardInterrupt:
+        if fired.is_set():
+            raise PointTimeout(
+                f"{point.label}: exceeded the {timeout_s:g}s point budget"
+            ) from None
+        raise
+    finally:
+        timer.cancel()
+        timer.join(1.0)
+    if fired.is_set():
+        # The point finished, but the watchdog fired in the window
+        # between completion and cancel; its interrupt may still be
+        # pending delivery.  Absorb it here so it cannot detonate in
+        # the caller.  (The same completion-vs-expiry race existed in
+        # the SIGALRM implementation.)
+        try:
+            time.sleep(0.05)
+        except KeyboardInterrupt:
+            pass
+    return result
+
+
+def _run_with_deadline_worker_thread(
+    point, with_digest: bool, timeout_s: float
+) -> Dict[str, object]:
+    """Deadline enforcement off the main thread.
+
+    ``interrupt_main`` and signals cannot reach a non-main thread, so
+    the point runs in a fresh daemon thread and the caller waits with a
+    deadline (the ``concurrent.futures``-style join).  On expiry the
+    runaway thread is *abandoned*, not killed -- Python offers no safe
+    cross-thread interrupt -- so the caller (the work-queue drain or a
+    threaded embedder) gets control back immediately while the zombie
+    finishes or dies with the process.  Fresh thread per budgeted call:
+    an abandoned worker must never wedge a shared pool slot.
+    """
+    box: Dict[str, object] = {}
+
+    def _call() -> None:
+        try:
+            box["result"] = _run_point(point, with_digest)
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            box["error"] = exc
+
+    thread = threading.Thread(
+        target=_call, name=f"point-{point.label}", daemon=True
+    )
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise PointTimeout(
+            f"{point.label}: exceeded the {timeout_s:g}s point budget"
+        )
+    error = box.get("error")
+    if error is not None:
+        raise error
+    return box["result"]  # type: ignore[return-value]
+
+
 def execute_point(
     point: RunPoint,
     with_digest: bool = False,
@@ -309,33 +430,20 @@ def execute_point(
     ``key``/``label``/``execute`` works (see :func:`_run_point`); the
     sweep machinery -- store, retry, timeout -- is point-kind agnostic.
 
-    ``timeout_s`` arms a ``SIGALRM`` wall-clock budget *inside* this
-    process and raises :class:`PointTimeout` when it expires.  Pool
-    futures cannot be cancelled once running, so the interrupt has to
-    come from within the worker; the simulator is pure Python, so the
-    signal lands between bytecodes and unwinds cleanly.  On platforms
-    or threads where ``SIGALRM`` is unavailable the point simply runs
-    unbudgeted.
+    ``timeout_s`` arms a wall-clock budget and raises
+    :class:`PointTimeout` when it expires.  Pool futures cannot be
+    cancelled once running, so the budget is enforced from *inside*
+    this call, and -- unlike the original ``SIGALRM`` implementation --
+    it works anywhere: on the main thread a watchdog timer interrupts
+    the simulation between bytecodes; off the main thread (work-queue
+    drain loops, threaded embedders) the point runs in a sidecar thread
+    joined with a deadline.
     """
     if timeout_s is None:
         return _run_point(point, with_digest)
-
-    def _expired(signum: int, frame: object) -> None:
-        raise PointTimeout(
-            f"{point.label}: exceeded the {timeout_s:g}s point budget"
-        )
-
-    try:
-        previous = signal.signal(signal.SIGALRM, _expired)
-    except (ValueError, AttributeError):
-        # Not the main thread, or no SIGALRM on this platform.
-        return _run_point(point, with_digest)
-    signal.setitimer(signal.ITIMER_REAL, timeout_s)
-    try:
-        return _run_point(point, with_digest)
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+    if threading.current_thread() is threading.main_thread():
+        return _run_with_deadline_main_thread(point, with_digest, timeout_s)
+    return _run_with_deadline_worker_thread(point, with_digest, timeout_s)
 
 
 @dataclass

@@ -12,7 +12,17 @@ Subcommands
 ``faults``           arm a fault plan and run the invariant harness
 ``serve``            run the multi-tenant open-loop service scenario and
                      print its per-tenant SLO report (or sweep a grid)
+``explore``          analytical triage + selective simulation of a
+                     configuration grid: recover the latency/goodput
+                     Pareto surface while simulating only the model's
+                     predicted frontier band
 ``schemes``          list the recognized scheme names
+
+``sweep`` additionally speaks the distributed work-queue protocol:
+``--queue DIR`` declares the sweep and drains it with N local worker
+processes, ``--join DIR --worker-id ID`` attaches one extra worker (on
+this or any host sharing the filesystem), and ``--status DIR`` prints
+drain progress (done/leased/pending/failed, per-worker throughput).
 
 Every subcommand validates its scheme/benchmark/plan arguments *before*
 simulating and exits with status 2 and a one-line actionable error on
@@ -351,6 +361,42 @@ def _print_sweep_summary(sweep, store) -> None:
         print(f"store: {store.root} ({len(store)} entries)")
 
 
+def _cmd_sweep_status(queue_dir: str) -> int:
+    """``doram sweep --status DIR``: drain-progress readout."""
+    from repro.analysis.workqueue import WorkQueue, WorkQueueError
+
+    try:
+        queue = WorkQueue.join(queue_dir)
+    except WorkQueueError as exc:
+        return _fail(str(exc))
+    print(f"queue: {queue_dir} (store {queue.store.root})")
+    for line in queue.stats().describe():
+        print(f"  {line}")
+    return 0
+
+
+def _cmd_sweep_join(queue_dir: str, worker_id: str, verbose: bool) -> int:
+    """``doram sweep --join DIR``: attach one worker to a shared drain."""
+    from repro.analysis.workqueue import (
+        WorkQueue,
+        WorkQueueError,
+        default_owner,
+    )
+
+    try:
+        queue = WorkQueue.join(queue_dir)
+    except WorkQueueError as exc:
+        return _fail(str(exc))
+    owner = worker_id or default_owner()
+    progress = (lambda msg: print(f"  {msg}", flush=True)) if verbose \
+        else None
+    drain = queue.drain(owner=owner, progress=progress)
+    print(f"worker {owner}: {drain.completed} completed, "
+          f"{drain.skipped} skipped, {drain.reclaimed} reclaimed, "
+          f"{len(drain.failed)} failed in {drain.wall_s:.2f}s")
+    return 1 if drain.failed else 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Parallel, resumable regeneration of one or more figures."""
     from repro.analysis.sweep import (
@@ -358,6 +404,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         SweepFailure,
         default_workers,
     )
+
+    modes = [bool(args.queue), bool(args.join), bool(args.status)]
+    if sum(modes) > 1:
+        return _fail("--queue, --join and --status are mutually exclusive")
+    if args.status:
+        return _cmd_sweep_status(args.status)
+    if args.join:
+        return _cmd_sweep_join(args.join, args.worker_id, args.verbose)
 
     if args.figures == "all":
         names = _EXPERIMENTS
@@ -379,6 +433,40 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     store = ResultStore(args.store) if args.store != "none" else None
     progress = (lambda msg: print(f"  {msg}", flush=True)) \
         if args.verbose else None
+
+    if args.queue:
+        if store is None:
+            return _fail("--queue needs a result store "
+                         "(drop --store none)")
+        from repro.analysis.workqueue import run_queue_sweep
+
+        points: List = []
+        for name in names:
+            points.extend(
+                experiments.figure_points(name, benchmarks,
+                                          args.trace_length)
+            )
+        sweep, _queue = run_queue_sweep(
+            points, args.queue, workers=workers,
+            store_root=os.path.abspath(store.root),
+            timeout_s=args.timeout or None, progress=progress,
+        )
+        _print_sweep_summary(sweep, store)
+        if sweep.failed:
+            print(f"sweep: {len(sweep.failed)} point(s) FAILED after "
+                  f"retry:", file=sys.stderr)
+            for point, reason in sweep.failed.items():
+                print(f"  {point.label}: {reason}", file=sys.stderr)
+            return 1
+        # The drain filled the store; the drivers now evaluate against
+        # pure store hits.
+        outputs, _ = experiments.run_figures(
+            names, benchmarks, args.trace_length,
+            workers=1, store=store, resume=True,
+        )
+        for name in names:
+            _print_experiment(name, outputs[name])
+        return 0
 
     try:
         outputs, sweep = experiments.run_figures(
@@ -535,6 +623,89 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Analytical triage + selective simulation (the Pareto surface)."""
+    import time as _time
+
+    from repro.analysis.explore import (
+        GRID_PRESETS,
+        bench_record,
+        build_grid,
+        explore,
+        write_report,
+    )
+    from repro.analysis.sweep import ResultStore, default_workers
+
+    if args.grid not in GRID_PRESETS:
+        return _fail(f"unknown grid preset {args.grid!r} "
+                     f"(known: {', '.join(GRID_PRESETS)})")
+    error = _validate_point(None, args.benchmark, args.trace_length)
+    if error is None and not 0.0 < args.budget_frac <= 1.0:
+        error = f"--budget-frac must be in (0, 1] (got {args.budget_frac:g})"
+    if error:
+        return _fail(error)
+    points = build_grid(args.grid, args.trace_length, args.benchmark)
+    workers = args.workers if args.workers else default_workers()
+    store = ResultStore(args.store) if args.store != "none" else None
+    progress = (lambda msg: print(f"  {msg}", flush=True)) \
+        if args.verbose else None
+
+    started = _time.monotonic()
+    result = explore(
+        points,
+        store=store,
+        workers=workers,
+        queue_root=args.queue or None,
+        budget_frac=args.budget_frac,
+        anchors_per_family=args.anchors,
+        band_frac=args.band_frac,
+        max_rounds=args.max_rounds,
+        seed=args.seed,
+        timeout_s=args.timeout or None,
+        progress=progress,
+    )
+    wall_s = _time.monotonic() - started
+
+    print(f"explore: grid={result.grid_points} "
+          f"simulated={result.simulated} "
+          f"({result.sim_fraction:.1%}; skipped "
+          f"{result.des_points_skipped_frac:.1%}) "
+          f"rounds={result.rounds} wall={wall_s:.1f}s")
+    print(f"  model-vs-sim error: latency mean "
+          f"{result.latency_error['mean']:.3f} "
+          f"p95 {result.latency_error['p95']:.3f}; goodput mean "
+          f"{result.goodput_error['mean']:.3f} "
+          f"p95 {result.goodput_error['p95']:.3f}")
+    print(f"  frontier ({len(result.frontier)} point(s)):")
+    for row in result.frontier:
+        print(f"    {row['label']}: lat={row['latency_us']:.3f}us "
+              f"goodput={row['goodput_rps']:.3e}/s "
+              f"[{row['bottleneck']}-bound]")
+    if result.failed:
+        print(f"  {len(result.failed)} point(s) failed:", file=sys.stderr)
+        for label, reason in sorted(result.failed.items()):
+            print(f"    {label}: {reason}", file=sys.stderr)
+    write_report(result, out_json=args.out_json or None,
+                 out_md=args.out_md or None)
+    for path in (args.out_json, args.out_md):
+        if path:
+            print(f"wrote {path}")
+    if args.bench_out:
+        _tools = os.path.join(
+            os.path.dirname(os.path.dirname(
+                os.path.dirname(os.path.abspath(__file__)))), "tools",
+        )
+        if _tools not in sys.path:
+            sys.path.insert(0, _tools)
+        import bench_trajectory
+
+        record = bench_record(result, args.label, args.grid,
+                              args.trace_length, wall_s)
+        bench_trajectory.append(record, path=args.bench_out)
+        print(f"appended {args.bench_out}")
+    return 1 if result.failed else 0
+
+
 def cmd_schemes(_args: argparse.Namespace) -> int:
     print("canonical schemes:", ", ".join(SCHEMES))
     print("parameterized    : doram+K, doram/C, doram+K/C")
@@ -621,6 +792,19 @@ def build_parser() -> argparse.ArgumentParser:
                               "reported as failed (0 disables)")
     p_sweep.add_argument("--verbose", action="store_true",
                          help="print per-point progress")
+    p_sweep.add_argument("--queue", default="",
+                         help="declare the sweep in this work-queue "
+                              "directory and drain it with --workers "
+                              "local processes (other hosts may --join)")
+    p_sweep.add_argument("--join", default="",
+                         help="join an existing work-queue directory as "
+                              "one worker and drain until done")
+    p_sweep.add_argument("--worker-id", default="",
+                         help="stable owner id for --join (default: "
+                              "host-pid)")
+    p_sweep.add_argument("--status", default="",
+                         help="print a work-queue directory's drain "
+                              "progress and exit")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_prof = sub.add_parser("profile", help="T25mix/T33 profiling")
@@ -715,6 +899,46 @@ def build_parser() -> argparse.ArgumentParser:
                          help="sweep result-store directory "
                               "(default: none = no store)")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_explore = sub.add_parser(
+        "explore",
+        help="recover the latency/goodput Pareto surface of a config "
+             "grid, simulating only the model's predicted frontier band",
+    )
+    p_explore.add_argument("--grid", default="smoke",
+                           help="grid preset: smoke, fig9, full")
+    p_explore.add_argument("--benchmark", default="li")
+    p_explore.add_argument("--trace-length", type=int, default=300)
+    p_explore.add_argument("--workers", type=int, default=0,
+                           help="simulation worker processes")
+    p_explore.add_argument("--queue", default="",
+                           help="drain simulations through this "
+                                "work-queue directory (enables "
+                                "multi-host participation)")
+    p_explore.add_argument("--store", default=None,
+                           help="result-store directory ('none' "
+                                "disables)")
+    p_explore.add_argument("--budget-frac", type=float, default=0.2,
+                           help="max fraction of the grid the DES may "
+                                "simulate (default 0.2)")
+    p_explore.add_argument("--anchors", type=int, default=3,
+                           help="calibration anchors per model family")
+    p_explore.add_argument("--band-frac", type=float, default=0.08,
+                           help="predicted-frontier band width")
+    p_explore.add_argument("--max-rounds", type=int, default=4)
+    p_explore.add_argument("--seed", type=int, default=1)
+    p_explore.add_argument("--timeout", type=float, default=0.0,
+                           help="per-point budget in seconds (0 = none)")
+    p_explore.add_argument("--out-json", default="",
+                           help="write the Pareto surface JSON here")
+    p_explore.add_argument("--out-md", default="",
+                           help="write the markdown report here")
+    p_explore.add_argument("--bench-out", default="",
+                           help="append a BENCH_explore.json record here")
+    p_explore.add_argument("--label", default="local",
+                           help="bench record label (default local)")
+    p_explore.add_argument("--verbose", action="store_true")
+    p_explore.set_defaults(func=cmd_explore)
 
     p_schemes = sub.add_parser("schemes", help="list schemes/benchmarks")
     p_schemes.set_defaults(func=cmd_schemes)

@@ -8,7 +8,9 @@ The contract (DESIGN.md "Fault model & recovery", sweep hardening):
   re-simulated, healing the store;
 * ``execute_point(timeout_s=...)`` bounds one point's wall clock from
   *inside* the process (pool futures cannot be cancelled once running)
-  and raises :class:`~repro.analysis.sweep.PointTimeout`;
+  and raises :class:`~repro.analysis.sweep.PointTimeout`; the deadline
+  works on the main thread (watchdog interrupt), off the main thread
+  (sidecar thread joined with a deadline), and in pool workers;
 * ``run_sweep`` gives a failing point exactly one more attempt, then
   records it in ``SweepResult.failed`` and keeps going -- a bad point
   costs its own result, not the sweep;
@@ -106,21 +108,97 @@ class TestPointTimeout:
             sweep_mod.execute_point(_point(), timeout_s=0.05)
         assert time.monotonic() - started < 2.0
 
-    def test_timer_is_disarmed_after_a_fast_point(self):
-        """The alarm must not outlive the point it budgets."""
+    def test_timeout_works_off_the_main_thread(self, monkeypatch):
+        """The old SIGALRM budget silently degraded to 'unbudgeted' off
+        the main thread; the deadline mechanism must still fire there
+        (work-queue drains run points from worker loops and threads)."""
+        monkeypatch.setattr(
+            sweep_mod, "_simulate_point",
+            lambda point, with_digest=False: time.sleep(5.0),
+        )
+        box = {}
+
+        def _run():
+            started = time.monotonic()
+            try:
+                sweep_mod.execute_point(_point(), timeout_s=0.05)
+            except BaseException as exc:  # noqa: BLE001
+                box["error"] = exc
+            box["wall"] = time.monotonic() - started
+
+        import threading
+
+        worker = threading.Thread(target=_run)
+        worker.start()
+        worker.join(5.0)
+        assert not worker.is_alive()
+        assert isinstance(box.get("error"), PointTimeout)
+        assert box["wall"] < 2.0
+
+    def test_fast_point_result_passes_through_off_main_thread(self):
+        box = {}
+
+        def _run():
+            box["payload"] = sweep_mod.execute_point(
+                _point(), timeout_s=30.0
+            )
+
+        import threading
+
+        worker = threading.Thread(target=_run)
+        worker.start()
+        worker.join(30.0)
+        assert box["payload"]["result"]["end_time"] > 0
+
+    def test_watchdog_is_disarmed_after_a_fast_point(self):
+        """The deadline must not outlive the point it budgets: no
+        watchdog timer threads linger once execute_point returns."""
+        import threading
+
         payload = sweep_mod.execute_point(_point(), timeout_s=30.0)
         assert payload["result"]["end_time"] > 0
-        import signal
-        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+        lingering = [
+            t for t in threading.enumerate()
+            if isinstance(t, threading.Timer)
+        ]
+        assert lingering == []
 
-    def test_no_timeout_means_no_signal_handling(self, monkeypatch):
+    def test_no_timeout_means_no_watchdog(self, monkeypatch):
         calls = []
-        monkeypatch.setattr(
-            sweep_mod.signal, "signal",
-            lambda *a: calls.append(a),
-        )
+
+        class _Boom:
+            def __init__(self, *a, **k):
+                calls.append(a)
+
+        import threading
+
+        monkeypatch.setattr(threading, "Timer", _Boom)
+        monkeypatch.setattr(sweep_mod.threading, "Timer", _Boom)
         sweep_mod.execute_point(_point())
         assert calls == []
+
+    def test_errors_raised_off_main_thread_propagate(self, monkeypatch):
+        """A point that *fails* under a deadline must surface its own
+        error, not a timeout."""
+        def _broken(point, with_digest=False):
+            raise RuntimeError("inner failure")
+
+        monkeypatch.setattr(sweep_mod, "_simulate_point", _broken)
+        box = {}
+
+        def _run():
+            try:
+                sweep_mod.execute_point(_point(), timeout_s=30.0)
+            except BaseException as exc:  # noqa: BLE001
+                box["error"] = exc
+
+        import threading
+
+        worker = threading.Thread(target=_run)
+        worker.start()
+        worker.join(5.0)
+        assert isinstance(box.get("error"), RuntimeError)
+        assert "inner failure" in str(box["error"])
 
 
 # ---------------------------------------------------------------------------

@@ -291,3 +291,98 @@ class TestServeCommand:
         out = capsys.readouterr().out
         assert "tenants" in out and "p999_ns" in out
         assert "2 simulated" in out
+
+
+class TestSweepQueueModes:
+    """``doram sweep --queue/--join/--status`` (the distributed drain)."""
+
+    def test_modes_are_mutually_exclusive(self, capsys):
+        assert main(["sweep", "--queue", "a", "--status", "b"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_queue_requires_a_store(self, capsys, tmp_path):
+        code = main(["sweep", "--figures", "fig9", "--store", "none",
+                     "--queue", str(tmp_path / "q")])
+        assert code == 2
+        assert "needs a result store" in capsys.readouterr().err
+
+    def test_status_on_missing_queue_fails_fast(self, capsys, tmp_path):
+        assert main(["sweep", "--status", str(tmp_path / "nope")]) == 2
+        assert capsys.readouterr().err.startswith("doram: error:")
+
+    def test_queue_drain_then_status_then_late_join(
+        self, capsys, tmp_path
+    ):
+        queue = str(tmp_path / "queue")
+        store = str(tmp_path / "store")
+        code = main(["sweep", "--figures", "fig10", "--benchmarks", "li",
+                     "--trace-length", "120", "--workers", "2",
+                     "--queue", queue, "--store", store])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 10" in out  # drivers evaluated from store hits
+
+        assert main(["sweep", "--status", queue]) == 0
+        status = capsys.readouterr().out
+        assert "4 done" in status and "0 pending" in status
+
+        # A worker joining after the drain finds nothing left to do.
+        assert main(["sweep", "--join", queue,
+                     "--worker-id", "late"]) == 0
+        joined = capsys.readouterr().out
+        assert "worker late: 0 completed" in joined
+
+
+class TestExploreCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["explore"])
+        assert args.grid == "smoke"
+        assert args.benchmark == "li"
+        assert args.budget_frac == 0.2
+        assert args.anchors == 3
+        assert args.band_frac == 0.08
+        assert args.max_rounds == 4
+        assert args.seed == 1
+        # --store defaults to the shared resumable store, like sweep.
+        assert args.store is None
+        assert args.queue == ""
+
+    def test_rejects_unknown_grid(self, capsys):
+        assert main(["explore", "--grid", "galaxy"]) == 2
+        assert "unknown grid preset" in capsys.readouterr().err
+
+    def test_rejects_bad_budget(self, capsys):
+        assert main(["explore", "--budget-frac", "0"]) == 2
+        assert "--budget-frac" in capsys.readouterr().err
+
+    def test_rejects_unknown_benchmark(self, capsys):
+        assert main(["explore", "--benchmark", "zz"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_smoke_explore_writes_reports_and_bench(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        out_json = tmp_path / "surface.json"
+        out_md = tmp_path / "surface.md"
+        bench = tmp_path / "BENCH_explore.json"
+        code = main(["explore", "--grid", "smoke",
+                     "--trace-length", "150", "--workers", "1",
+                     "--budget-frac", "0.5",
+                     "--store", str(tmp_path / "store"),
+                     "--out-json", str(out_json),
+                     "--out-md", str(out_md),
+                     "--bench-out", str(bench), "--label", "citest"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "explore: grid=16" in out
+        assert "frontier" in out
+        assert "model-vs-sim error" in out
+        doc = json.loads(out_json.read_text())
+        assert doc["simulated"] <= doc["budget"]
+        assert "Pareto" in out_md.read_text()
+        rows = json.loads(bench.read_text())
+        assert rows[0]["workload"] == "explore"
+        assert rows[0]["label"] == "citest"
+        assert 0.0 < rows[0]["sim_fraction"] <= 0.5

@@ -67,6 +67,11 @@ WORKLOAD_KEYS = {
                      "per_scheme_events", "trace_length"),
     "link_pacer": ("events", "events_per_s", "events_dispatched",
                    "link"),
+    "explore": ("config", "trace_length", "grid_points", "simulated",
+                "sim_fraction", "des_points_skipped_frac", "budget_frac",
+                "rounds", "frontier_size", "latency_err_mean",
+                "latency_err_p95", "goodput_err_mean",
+                "goodput_err_p95"),
 }
 
 #: What makes two workload rows "the same measurement": the sibling
@@ -78,6 +83,20 @@ def identity(record: Dict[str, object]) -> tuple:
     return tuple(record.get(key) for key in IDENTITY_KEYS)
 
 
+def required_keys(record: Dict[str, object]) -> List[str]:
+    """The full current schema for one record."""
+    required = list(BASE_KEYS)
+    workload = record.get("workload")
+    if workload is not None:
+        required += list(WORKLOAD_KEYS.get(workload, ()))
+    return required
+
+
+def _missing(record: Dict[str, object], required: List[str]) -> List[str]:
+    return [key for key in required
+            if key not in record or record[key] is None]
+
+
 def validate(record: Dict[str, object],
              existing: List[Dict[str, object]]) -> None:
     """Reject a malformed or duplicate append (raises ``ValueError``).
@@ -85,12 +104,8 @@ def validate(record: Dict[str, object],
     Only the *new* record is judged; historical rows predating a schema
     key (e.g. ``link`` before the link-kernel axis existed) stay valid.
     """
-    required = list(BASE_KEYS)
     workload = record.get("workload")
-    if workload is not None:
-        required += list(WORKLOAD_KEYS.get(workload, ()))
-    missing = [key for key in required
-               if key not in record or record[key] is None]
+    missing = _missing(record, required_keys(record))
     if missing:
         raise ValueError(
             f"record {identity(record)!r} is missing required keys "
@@ -136,22 +151,109 @@ def append(record: Dict[str, object],
     return record
 
 
+def check(path: str) -> List[str]:
+    """Validate a whole trajectory file against the append rules.
+
+    Replays the ordering and duplicate-identity rules over every
+    record; returns the problems found (empty list = clean).  CI gates
+    committed BENCH files with this so a hand-edited or merge-mangled
+    trajectory fails loudly.
+
+    Schema keys are *grandfathered* the same way appends were: rows
+    appended before a workload key existed (e.g. ``link`` before the
+    link-kernel axis) were valid then and stay valid now.  A replay
+    cannot date individual rows, so the rule is monotone instead: once
+    any row of a workload satisfies the full current schema, every
+    later row of that workload must too -- and the *newest* row of
+    each workload always must, so the row CI just appended is judged
+    against the full schema even in a fresh file.
+    """
+    problems: List[str] = []
+    try:
+        with open(path) as fp:
+            records = json.load(fp)
+    except OSError as exc:
+        return [f"{path}: unreadable ({exc})"]
+    except ValueError as exc:
+        return [f"{path}: not valid JSON ({exc})"]
+    if not isinstance(records, list):
+        return [f"{path}: top level must be a JSON array"]
+    newest: Dict[object, int] = {
+        record.get("workload"): index
+        for index, record in enumerate(records)
+        if isinstance(record, dict)
+    }
+    ratified: Dict[object, bool] = {}
+    for index, record in enumerate(records):
+        if not isinstance(record, dict):
+            problems.append(f"{path}[{index}]: record is not an object")
+            continue
+        workload = record.get("workload")
+        required = required_keys(record)
+        missing = _missing(record, required)
+        strict = ratified.get(workload) or index == newest[workload]
+        if missing and strict:
+            problems.append(
+                f"{path}[{index}]: record {identity(record)!r} is "
+                f"missing required keys {missing} "
+                f"(workload schema {workload!r})"
+            )
+        if not missing:
+            ratified[workload] = True
+        prior = [row for row in records[:index] if isinstance(row, dict)]
+        if prior:
+            last = prior[-1].get("timestamp")
+            now = record.get("timestamp")
+            if last and now and str(now) < str(last):
+                problems.append(
+                    f"{path}[{index}]: timestamp {now!r} precedes the "
+                    f"previous record ({last!r}); appends must be "
+                    f"monotonic"
+                )
+        if workload is not None:
+            key = identity(record)
+            if any(identity(row) == key for row in prior):
+                problems.append(
+                    f"{path}[{index}]: duplicate row for identity "
+                    f"{key!r}"
+                )
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="append one sweep timing record to BENCH_sweep.json"
     )
-    parser.add_argument("--label", required=True,
+    parser.add_argument("--check", default=None, metavar="PATH",
+                        help="validate an existing trajectory file "
+                             "instead of appending (exit 1 on problems)")
+    parser.add_argument("--label",
                         help="who measured (e.g. ci, bench, local)")
     parser.add_argument("--figures", default="",
                         help="comma-separated figure names swept")
-    parser.add_argument("--workers", type=int, required=True)
-    parser.add_argument("--points", type=int, required=True)
-    parser.add_argument("--simulated", type=int, required=True)
-    parser.add_argument("--wall-s", type=float, required=True)
-    parser.add_argument("--trace-length", type=int, required=True)
+    parser.add_argument("--workers", type=int)
+    parser.add_argument("--points", type=int)
+    parser.add_argument("--simulated", type=int)
+    parser.add_argument("--wall-s", type=float)
+    parser.add_argument("--trace-length", type=int)
     parser.add_argument("--out", default=None,
                         help=f"trajectory file (default {DEFAULT_PATH})")
     args = parser.parse_args(argv)
+    if args.check is not None:
+        problems = check(args.check)
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        if not problems:
+            print(f"{args.check}: OK")
+        return 1 if problems else 0
+    missing = [name for name in ("label", "workers", "points",
+                                 "simulated", "wall_s", "trace_length")
+               if getattr(args, name) is None]
+    if missing:
+        parser.error(
+            "the following arguments are required: "
+            + ", ".join(f"--{name.replace('_', '-')}" for name in missing)
+        )
     record = append(
         {
             "label": args.label,
