@@ -1,0 +1,179 @@
+"""Availability scoring for faulted scenario runs.
+
+The chaos campaign's per-point verdict (DESIGN.md §13): given one
+:class:`~repro.scenarios.service.ScenarioResult` and the
+:class:`~repro.faults.FaultPlan` that was armed on it, compute
+
+* **availability** -- the fraction of *offered* requests that completed
+  within an SLO deadline.  Offered (not admitted) is the denominator:
+  a request shed at admission because faults backed the queue up is an
+  availability loss, exactly as a cloud SLA would count it;
+* **goodput under faults** -- completed (and SLO-compliant) requests
+  per second of the offered-load window;
+* **recovery latency** -- per fault onset, the delay until the service
+  next produced a *good* response (a completion within SLO whose
+  completion tick is at or after the onset).  p50/p99/p999 use the
+  nearest-rank method so the numbers are exact order statistics of the
+  sample, never interpolated -- byte-stable across platforms;
+* **MTTR** -- the mean of those recovery latencies.
+
+Everything here is pure integer/ratio arithmetic over the result's
+completion streams (``ScenarioResult.tenant_completions``, live-only
+fields captured by the tenant sources), so a report is a deterministic
+function of (result, plan, slo_ns) -- the campaign store can safely
+content-address payloads that embed it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.engine import TICKS_PER_NS, ns
+
+#: Quantiles reported for the recovery-latency distribution.
+RECOVERY_QUANTILES = (0.5, 0.99, 0.999)
+
+
+def _nearest_rank(sorted_vals: List[int], q: float) -> int:
+    """Exact nearest-rank order statistic (no interpolation)."""
+    n = len(sorted_vals)
+    return sorted_vals[min(n - 1, max(0, math.ceil(q * n) - 1))]
+
+
+@dataclass
+class AvailabilityReport:
+    """One campaign point's resilience verdict (JSON-safe)."""
+
+    slo_ns: float
+    offered: int = 0
+    completed: int = 0
+    within_slo: int = 0
+    #: within_slo / offered; 0.0 when nothing was offered (a service
+    #: that served nobody gets no availability credit).
+    availability: float = 0.0
+    goodput_rps: float = 0.0
+    slo_goodput_rps: float = 0.0
+    #: Distinct fault-onset instants in the plan (ns ticks, deduped).
+    fault_onsets: int = 0
+    recovered: int = 0
+    #: Onsets with no SLO-compliant completion at-or-after them before
+    #: the run ended (e.g. fault window past sim end, or the service
+    #: never got healthy again).
+    unrecovered: int = 0
+    mttr_ns: Optional[float] = None
+    #: ``{"p50": ..., "p99": ..., "p999": ...}`` in ns; None when no
+    #: onset recovered.
+    recovery_ns: Dict[str, Optional[float]] = field(default_factory=dict)
+    #: Per-tenant ``{"availability": ..., "within_slo": ...}`` rows.
+    per_tenant: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "slo_ns": self.slo_ns,
+            "offered": self.offered,
+            "completed": self.completed,
+            "within_slo": self.within_slo,
+            "availability": self.availability,
+            "goodput_rps": self.goodput_rps,
+            "slo_goodput_rps": self.slo_goodput_rps,
+            "fault_onsets": self.fault_onsets,
+            "recovered": self.recovered,
+            "unrecovered": self.unrecovered,
+            "mttr_ns": self.mttr_ns,
+            "recovery_ns": self.recovery_ns,
+            "per_tenant": self.per_tenant,
+        }
+
+
+def fault_onsets(plan) -> List[int]:
+    """Distinct fault-onset ticks of a plan, sorted ascending.
+
+    Every rule contributes its window start; a rule starting at 0 (the
+    default -- "always on") counts as an onset at tick 0, so an armed
+    always-on plan still gets a recovery measurement (time to the first
+    good response under fault pressure).
+    """
+    onsets = set()
+    for rule in tuple(plan.link) + tuple(plan.dram) + tuple(plan.delegator):
+        onsets.add(ns(rule.start_ns))
+    return sorted(onsets)
+
+
+def score_scenario(result, plan, slo_ns: float) -> AvailabilityReport:
+    """Score one faulted scenario run against an SLO deadline.
+
+    ``result`` is duck-typed: anything exposing ``tenants`` (per-tenant
+    report rows with ``offered``/``completed``), ``tenant_completions``
+    (per-tenant ``(completion_tick, sojourn_ticks)`` lists), and
+    ``config.horizon_ns`` works -- the edge-case property tests drive
+    this with synthetic stand-ins.
+    """
+    slo_ticks = ns(slo_ns)
+    horizon_s = result.config.horizon_ns * 1e-9
+
+    offered = 0
+    completed = 0
+    within_slo = 0
+    per_tenant: Dict[str, Dict[str, float]] = {}
+    merged: List[Tuple[int, int]] = []
+    for tenant in sorted(result.tenants, key=int):
+        row = result.tenants[tenant]
+        t_offered = int(row["offered"])
+        ticks = list(result.tenant_completions.get(tenant, ()))
+        t_within = sum(1 for _, sojourn in ticks if sojourn <= slo_ticks)
+        offered += t_offered
+        completed += len(ticks)
+        within_slo += t_within
+        merged.extend(ticks)
+        per_tenant[tenant] = {
+            "availability": t_within / t_offered if t_offered else 0.0,
+            "within_slo": t_within,
+        }
+    merged.sort()
+
+    # -- recovery latency per fault onset -----------------------------
+    good_ticks = sorted(
+        tick for tick, sojourn in merged if sojourn <= slo_ticks
+    )
+    onsets = fault_onsets(plan)
+    latencies: List[int] = []
+    unrecovered = 0
+    lo = 0
+    for onset in onsets:
+        # good_ticks is sorted and onsets ascend: resume the scan.
+        while lo < len(good_ticks) and good_ticks[lo] < onset:
+            lo += 1
+        if lo < len(good_ticks):
+            latencies.append(good_ticks[lo] - onset)
+        else:
+            unrecovered += 1
+
+    recovery: Dict[str, Optional[float]] = {}
+    mttr = None
+    if latencies:
+        ordered = sorted(latencies)
+        for q in RECOVERY_QUANTILES:
+            key = f"p{q * 100:g}".replace(".", "")
+            recovery[key] = _nearest_rank(ordered, q) / TICKS_PER_NS
+        mttr = sum(latencies) / len(latencies) / TICKS_PER_NS
+    else:
+        for q in RECOVERY_QUANTILES:
+            recovery[f"p{q * 100:g}".replace(".", "")] = None
+
+    return AvailabilityReport(
+        slo_ns=slo_ns,
+        offered=offered,
+        completed=completed,
+        within_slo=within_slo,
+        availability=within_slo / offered if offered else 0.0,
+        goodput_rps=completed / horizon_s,
+        slo_goodput_rps=within_slo / horizon_s,
+        fault_onsets=len(onsets),
+        recovered=len(latencies),
+        unrecovered=unrecovered,
+        mttr_ns=mttr,
+        recovery_ns=recovery,
+        per_tenant=per_tenant,
+    )

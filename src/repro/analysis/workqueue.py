@@ -107,7 +107,25 @@ def _atomic_write_json(path: str, payload: Dict[str, object]) -> None:
         raise
 
 
-def _point_to_manifest(point: RunPoint) -> Dict[str, object]:
+#: Non-RunPoint sweep axes a manifest can round-trip, keyed by the
+#: ``kind`` tag their ``to_manifest`` emits.  Values are lazy import
+#: targets so the queue layer never pays for (or cycles with) the
+#: heavier point modules.
+_POINT_KINDS: Dict[str, Tuple[str, str]] = {
+    "chaos": ("repro.faults.campaign", "FaultPoint"),
+}
+
+
+def _point_to_manifest(point) -> Dict[str, object]:
+    to_manifest = getattr(point, "to_manifest", None)
+    if to_manifest is not None:
+        doc = to_manifest()
+        if doc.get("kind") not in _POINT_KINDS:
+            raise WorkQueueError(
+                f"point {point!r} emits unregistered manifest kind "
+                f"{doc.get('kind')!r}"
+            )
+        return doc
     return {
         "scheme": point.scheme,
         "benchmark": point.benchmark,
@@ -117,7 +135,20 @@ def _point_to_manifest(point: RunPoint) -> Dict[str, object]:
     }
 
 
-def _point_from_manifest(doc: Dict[str, object]) -> RunPoint:
+def _point_from_manifest(doc: Dict[str, object]):
+    kind = doc.get("kind")
+    if kind is not None:
+        try:
+            module_name, class_name = _POINT_KINDS[kind]
+        except KeyError:
+            raise WorkQueueError(
+                f"manifest names unknown point kind {kind!r} "
+                f"(registered: {', '.join(sorted(_POINT_KINDS))})"
+            ) from None
+        import importlib
+
+        cls = getattr(importlib.import_module(module_name), class_name)
+        return cls.from_manifest(doc)
     overrides = tuple(
         (k, tuple(v) if isinstance(v, list) else v)
         for k, v in doc.get("overrides", ())

@@ -16,13 +16,18 @@ Subcommands
                      configuration grid: recover the latency/goodput
                      Pareto surface while simulating only the model's
                      predicted frontier band
+``chaos``            drain a seeded fault campaign (fault intensity x
+                     scheme x workload) under the invariant harness and
+                     score availability / goodput-under-faults;
+                     ``chaos report`` re-renders a drained store
 ``schemes``          list the recognized scheme names
 
-``sweep`` additionally speaks the distributed work-queue protocol:
-``--queue DIR`` declares the sweep and drains it with N local worker
-processes, ``--join DIR --worker-id ID`` attaches one extra worker (on
-this or any host sharing the filesystem), and ``--status DIR`` prints
-drain progress (done/leased/pending/failed, per-worker throughput).
+``sweep`` and ``chaos`` additionally speak the distributed work-queue
+protocol: ``--queue DIR`` declares the sweep and drains it with N local
+worker processes, ``--join DIR --worker-id ID`` attaches one extra
+worker (on this or any host sharing the filesystem), and ``--status
+DIR`` prints drain progress (done/leased/pending/failed, per-worker
+throughput).
 
 Every subcommand validates its scheme/benchmark/plan arguments *before*
 simulating and exits with status 2 and a one-line actionable error on
@@ -580,6 +585,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except (TypeError, ValueError) as exc:
         return _fail(str(exc))
 
+    faults = None
+    if args.faults:
+        from repro.faults import FaultController, FaultPlan, FaultPlanError
+
+        if args.sweep_tenants or args.sweep_rates:
+            return _fail(
+                "--faults applies to a single scenario run; use 'doram "
+                "chaos' for fault sweeps"
+            )
+        try:
+            plan = FaultPlan.from_file(args.faults)
+        except FaultPlanError as exc:
+            return _fail(str(exc))
+        faults = FaultController(plan)
+
     if args.sweep_tenants or args.sweep_rates:
         from repro.analysis.sweep import ResultStore, default_workers
 
@@ -610,8 +630,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer()
-    result = run_scenario(config, tracer=tracer)
+    result = run_scenario(config, tracer=tracer, faults=faults)
     print(format_report(result))
+    if faults is not None:
+        fired = result.fault_summary.get("faults", {})
+        line = " ".join(f"{k}={v}" for k, v in sorted(fired.items()))
+        print(f"faults: {line or 'none fired'}")
     if tracer is not None:
         from repro.obs import trace_digest
 
@@ -621,6 +645,141 @@ def cmd_serve(args: argparse.Namespace) -> int:
             _json.dump(result.to_json_dict(), fp, sort_keys=True, indent=1)
         print(f"wrote {args.json}")
     return 0
+
+
+def _chaos_bench_append(rows, label: str, wall_s: float,
+                        path: str) -> None:
+    from repro.faults.campaign import bench_records
+
+    _tools = os.path.join(
+        os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))), "tools",
+    )
+    if _tools not in sys.path:
+        sys.path.insert(0, _tools)
+    import bench_trajectory
+
+    for record in bench_records(rows, label, wall_s):
+        bench_trajectory.append(record, path=path)
+    print(f"appended {len(rows)} records to {path}")
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded fault campaigns: drain, gate invariants, score, report."""
+    import dataclasses
+
+    from repro.faults.campaign import (
+        CampaignError,
+        CampaignSpec,
+        chaos_rows,
+        render_markdown,
+    )
+
+    modes = [bool(args.queue), bool(args.join), bool(args.status)]
+    if sum(modes) > 1:
+        return _fail("--queue, --join and --status are mutually exclusive")
+    if args.status:
+        return _cmd_sweep_status(args.status)
+    if args.join:
+        return _cmd_sweep_join(args.join, args.worker_id, args.verbose)
+
+    if not args.campaign:
+        return _fail("chaos needs --campaign SPEC.json "
+                     "(see examples/campaigns/)")
+    try:
+        spec = CampaignSpec.from_file(args.campaign)
+        if args.seed is not None:
+            spec = dataclasses.replace(spec, seed=args.seed)
+    except CampaignError as exc:
+        return _fail(str(exc))
+    if args.timeout < 0:
+        return _fail(f"--timeout must be >= 0 (got {args.timeout:g})")
+
+    if args.dry_run:
+        print("\n".join(spec.describe()))
+        return 0
+
+    from repro.analysis.sweep import ResultStore, default_workers
+
+    points = spec.grid()
+    store = ResultStore(args.store) if args.store != "none" else None
+    workers = args.workers if args.workers else default_workers()
+    progress = (lambda msg: print(f"  {msg}", flush=True)) \
+        if args.verbose else None
+
+    if args.mode == "report":
+        if store is None:
+            return _fail("chaos report reads a drained store; pass "
+                         "--store DIR")
+        payloads = {}
+        missing = []
+        for point in points:
+            cached = store.get(point.key(args.digest))
+            if cached is None:
+                missing.append(point.label)
+            else:
+                payloads[point] = cached
+        if missing:
+            return _fail(
+                f"store {store.root} is missing {len(missing)} of "
+                f"{len(points)} campaign cells (first: {missing[0]}); "
+                f"drain with 'doram chaos --campaign ...' first"
+            )
+        sweep = None
+        wall_s = 0.0
+    else:
+        if args.queue:
+            if store is None:
+                return _fail("--queue needs a result store "
+                             "(drop --store none)")
+            from repro.analysis.workqueue import run_queue_sweep
+
+            sweep, _queue = run_queue_sweep(
+                points, args.queue, workers=workers,
+                store_root=os.path.abspath(store.root),
+                with_digest=args.digest,
+                timeout_s=args.timeout or None, progress=progress,
+            )
+        else:
+            from repro.analysis.sweep import run_sweep
+
+            sweep = run_sweep(
+                points, workers=workers, store=store,
+                with_digest=args.digest,
+                timeout_s=args.timeout or None, progress=progress,
+            )
+        _print_sweep_summary(sweep, store)
+        if sweep.failed:
+            for point, error in sweep.failed.items():
+                print(f"FAILED {point.label}: {error}", file=sys.stderr)
+            return 1
+        payloads = sweep.payloads
+        wall_s = sweep.wall_s
+
+    rows = chaos_rows(payloads)
+    print(render_markdown(rows))
+
+    # The invariant harness is the oracle: any violated cell fails the
+    # whole campaign (after the table, so the curve is still visible).
+    violated = [
+        point for point in sorted(payloads, key=lambda p: p.label)
+        if not payloads[point]["invariants"]["ok"]
+    ]
+    for point in violated:
+        for violation in payloads[point]["invariants"]["violations"]:
+            print(f"INVARIANT {point.label}: {violation}",
+                  file=sys.stderr)
+
+    if args.out:
+        with open(args.out, "w") as fp:
+            fp.write(f"# chaos campaign {spec.name!r} "
+                     f"(seed {spec.seed}, slo {spec.slo_ns:g} ns)\n\n")
+            fp.write(render_markdown(rows))
+            fp.write("\n")
+        print(f"wrote {args.out}")
+    if args.bench_out:
+        _chaos_bench_append(rows, args.label, wall_s, args.bench_out)
+    return 1 if violated else 0
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
@@ -883,6 +1042,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="DRAM service backend (DORAM_DRAM)")
     p_serve.add_argument("--link", choices=("legacy", "kernel"), default="",
                          help="secure-link pipeline backend (DORAM_LINK)")
+    p_serve.add_argument("--faults", default="",
+                         help="arm a fault-plan JSON on the scenario "
+                              "fabric (see examples/faults/)")
     p_serve.add_argument("--digest", action="store_true",
                          help="trace the run and print its event digest")
     p_serve.add_argument("--json", default="",
@@ -939,6 +1101,59 @@ def build_parser() -> argparse.ArgumentParser:
                            help="bench record label (default local)")
     p_explore.add_argument("--verbose", action="store_true")
     p_explore.set_defaults(func=cmd_explore)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="drain a seeded fault campaign (fault-intensity x scheme x "
+             "workload grid) and score availability under faults",
+    )
+    p_chaos.add_argument("mode", nargs="?", default="run",
+                         choices=("run", "report"),
+                         help="run: drain the grid; report: render "
+                              "tables from an already-drained store")
+    p_chaos.add_argument("--campaign", default="",
+                         help="campaign-spec JSON file "
+                              "(see examples/campaigns/)")
+    p_chaos.add_argument("--seed", type=int, default=None,
+                         help="override the spec's base seed (fresh "
+                              "per-point fault draws)")
+    p_chaos.add_argument("--dry-run", action="store_true",
+                         help="print the resolved grid and per-point "
+                              "plans without simulating")
+    p_chaos.add_argument("--store", default="none",
+                         help="result-store directory ('none' disables; "
+                              "required for --queue and report mode)")
+    p_chaos.add_argument("--workers", type=int, default=0,
+                         help="worker processes (default: CPU count)")
+    p_chaos.add_argument("--digest", action="store_true",
+                         help="also capture full event-trace digests "
+                              "per point")
+    p_chaos.add_argument("--timeout", type=float, default=0.0,
+                         help="per-point wall-clock budget in seconds "
+                              "(0 disables)")
+    p_chaos.add_argument("--queue", default="",
+                         help="declare the campaign in this work-queue "
+                              "directory and drain it with --workers "
+                              "local processes (other hosts may --join)")
+    p_chaos.add_argument("--join", default="",
+                         help="join an existing work-queue directory as "
+                              "one worker and drain until done")
+    p_chaos.add_argument("--worker-id", default="",
+                         help="stable owner id for --join "
+                              "(default: host-pid)")
+    p_chaos.add_argument("--status", default="",
+                         help="print a work-queue directory's drain "
+                              "progress and exit")
+    p_chaos.add_argument("--out", default="",
+                         help="write the markdown availability table "
+                              "to this file")
+    p_chaos.add_argument("--bench-out", default="",
+                         help="append BENCH_chaos.json records here")
+    p_chaos.add_argument("--label", default="local",
+                         help="bench record label (default local)")
+    p_chaos.add_argument("--verbose", action="store_true",
+                         help="print per-point progress")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_schemes = sub.add_parser("schemes", help="list schemes/benchmarks")
     p_schemes.set_defaults(func=cmd_schemes)

@@ -11,6 +11,11 @@
   it pulls in the whole system builder.)
 * :mod:`repro.faults.resilient` -- the functional Path ORAM durability
   model (MAC-detected transient flips + bounded re-read).
+* :mod:`repro.faults.campaign` -- seeded chaos campaigns: CampaignSpec
+  materializes a deterministic FaultPlan per point and FaultPoint
+  drains fault-intensity x scheme x workload grids through the sweep
+  runner.  (Imported explicitly, not here: it pulls in the analysis
+  and scenario layers.)
 """
 
 from repro.faults.inject import FaultController

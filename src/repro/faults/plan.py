@@ -21,6 +21,7 @@ from __future__ import annotations
 import hashlib
 import json
 import random
+import re
 from dataclasses import asdict, dataclass, field
 from fnmatch import fnmatchcase
 from typing import Dict, List, Optional, Tuple
@@ -31,6 +32,37 @@ from repro.sim.engine import ns
 LINK_KINDS = ("corrupt", "drop", "delay")
 DRAM_KINDS = ("flip",)
 DELEGATOR_KINDS = ("stall", "crash")
+
+#: Site-name grammars.  Patterns may use fnmatch wildcards; a *literal*
+#: pattern (no ``*?[``) that can never name a real site is a typo, and
+#: typos should fail at plan load, not as a silently never-firing rule.
+_LINK_NAME_RE = re.compile(r"^bob\d+\.(down|up)$")
+_CHANNEL_NAME_RE = re.compile(r"^ch\d+(\.\d+)?$")
+
+
+def _is_literal(pattern: str) -> bool:
+    return not any(c in pattern for c in "*?[")
+
+
+def _check_site_name(pattern: str, grammar: re.Pattern, what: str,
+                     example: str) -> None:
+    if _is_literal(pattern) and not grammar.match(pattern):
+        raise FaultPlanError(
+            f"unknown {what} site name {pattern!r}: literal names must "
+            f"look like {example!r} (wildcards are allowed)"
+        )
+
+
+def _check_indices(indices, what: str) -> Tuple[int, ...]:
+    out = []
+    for value in indices:
+        index = int(value)
+        if index < 0:
+            raise FaultPlanError(
+                f"{what} indices must be >= 0 (got {value})"
+            )
+        out.append(index)
+    return tuple(out)
 
 
 class FaultPlanError(ValueError):
@@ -95,9 +127,14 @@ class LinkFault:
             raise FaultPlanError("delay faults need delay_ns > 0")
         if self.delay_ns < 0:
             raise FaultPlanError("delay_ns must be >= 0")
+        if self.start_ns < 0:
+            raise FaultPlanError("link fault start_ns must be >= 0")
         if self.stop_ns is not None and self.stop_ns <= self.start_ns:
             raise FaultPlanError("fault window stop_ns must be > start_ns")
-        object.__setattr__(self, "packets", tuple(self.packets))
+        _check_site_name(self.link, _LINK_NAME_RE, "link", "bob0.down")
+        object.__setattr__(
+            self, "packets", _check_indices(self.packets, "packet")
+        )
 
     def matches_link(self, name: str) -> bool:
         return fnmatchcase(name, self.link)
@@ -144,9 +181,15 @@ class DramFault:
             raise FaultPlanError(
                 f"dram fault rate {self.rate} must be in [0, 1)"
             )
+        if self.start_ns < 0:
+            raise FaultPlanError("dram fault start_ns must be >= 0")
         if self.stop_ns is not None and self.stop_ns <= self.start_ns:
             raise FaultPlanError("fault window stop_ns must be > start_ns")
-        object.__setattr__(self, "reads", tuple(self.reads))
+        _check_site_name(self.channel, _CHANNEL_NAME_RE, "dram channel",
+                         "ch0.1")
+        object.__setattr__(
+            self, "reads", _check_indices(self.reads, "read")
+        )
 
     def matches_channel(self, name: str) -> bool:
         return fnmatchcase(name, self.channel)
@@ -255,6 +298,25 @@ class FaultPlan:
         crashes = [f for f in self.delegator if f.kind == "crash"]
         if len(crashes) > 1:
             raise FaultPlanError("at most one delegator crash per plan")
+        # Overlapping stall windows (or a stall reaching past the crash
+        # point) describe an ambiguous schedule -- reject at load time
+        # instead of silently resolving mid-run.
+        windows = sorted(
+            (ns(r.start_ns), ns(r.start_ns + r.duration_ns))
+            for r in self.delegator if r.kind == "stall"
+        )
+        for (_, prev_hi), (lo, _) in zip(windows, windows[1:]):
+            if lo < prev_hi:
+                raise FaultPlanError(
+                    "delegator stall windows overlap; merge them into "
+                    "one rule"
+                )
+        crash = ns(crashes[0].start_ns) if crashes else None
+        if crash is not None and any(hi > crash for _, hi in windows):
+            raise FaultPlanError(
+                "delegator stall window overlaps the crash point; the "
+                "delegator cannot stall after it crashed"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -274,18 +336,15 @@ class FaultPlan:
         return None
 
     def stall_windows(self) -> List[Tuple[int, int]]:
-        """Sorted, merged ``(start, end)`` stall windows in ticks."""
-        raw = sorted(
+        """Sorted ``(start, end)`` stall windows in ticks.
+
+        Windows are disjoint by construction: ``__post_init__`` rejects
+        overlapping stall rules at load time.
+        """
+        return sorted(
             (ns(r.start_ns), ns(r.start_ns + r.duration_ns))
             for r in self.delegator if r.kind == "stall"
         )
-        merged: List[Tuple[int, int]] = []
-        for lo, hi in raw:
-            if merged and lo <= merged[-1][1]:
-                merged[-1] = (merged[-1][0], max(hi, merged[-1][1]))
-            else:
-                merged.append((lo, hi))
-        return merged
 
     def describe(self) -> List[str]:
         """Human-readable resolved schedule (``doram faults --dry-run``)."""

@@ -24,7 +24,12 @@ from typing import Callable, Dict, List, Optional
 
 from repro.analysis.metrics import SLO_QUANTILES, latency_quantiles_ns
 from repro.core.delegator import OramSequencer, SecureDelegator
-from repro.core.frontend import DelegatorBackend, OramFrontend
+from repro.core.frontend import DelegatorBackend, OnChipBackend, OramFrontend
+from repro.core.recovery import (
+    BobChannelSink,
+    FailoverBackend,
+    SecureLinkSession,
+)
 from repro.core.system import build_bob_fabric
 from repro.dram.address_mapping import DeviceGeometry
 from repro.dram.commands import TrafficClass
@@ -70,6 +75,18 @@ class ScenarioResult:
     #: Raw dispatches (drops under lazy periodic mode); excluded from
     #: equality and serialization like ``SimResult.raw_events``.
     raw_events: int = field(default=0, compare=False)
+    #: ``FaultController.summary()`` of an armed run.  Live-only (not
+    #: serialized, not compared): armed-empty plans must keep the stored
+    #: payload and report digest bit-identical to a bare run.
+    fault_summary: Dict[str, object] = field(
+        default_factory=dict, compare=False
+    )
+    #: Per-tenant ``(completion_tick, sojourn_ticks)`` streams for the
+    #: availability scorer, keyed like :attr:`tenants`.  Live-only for
+    #: the same reason as :attr:`fault_summary`.
+    tenant_completions: Dict[str, List] = field(
+        default_factory=dict, compare=False
+    )
 
     # -- headline metrics -------------------------------------------------
     def total(self, counter: str) -> int:
@@ -148,14 +165,23 @@ class _DrainMonitor:
 def build_scenario(
     config: ScenarioConfig,
     tracer=None,
+    faults=None,
 ) -> Dict[str, object]:
     """Instantiate the scenario machine without running it.
 
     Returns the component dictionary ``run_scenario`` executes; exposed
     separately so tests can poke at the wiring (and so the builder stays
     a pure function of the config).
+
+    ``faults`` (a :class:`repro.faults.FaultController`, single-run) arms
+    link/DRAM fault sites and the per-tenant secure-link recovery
+    protocol, exactly as ``build_and_run`` does for single-app runs.  An
+    armed controller with an *empty* plan leaves the run bit-identical
+    to ``faults=None`` (recovery framing is schedule-neutral).
     """
     engine = Engine(tracer=tracer)
+    if faults is not None:
+        faults.bind(engine, tracer)
     geometry = DeviceGeometry()
     secure_policy = SharePolicy({
         TrafficClass.SECURE: config.secure_share,
@@ -174,16 +200,38 @@ def build_scenario(
         tracer=tracer,
     )
 
+    if faults is not None:
+        for key in sorted(channels):
+            channel = channels[key]
+            site = faults.dram_site(channel.name)
+            if site is not None:
+                channel.arm_faults(site)
+            if faults.capture_commands:
+                faults.command_logs[channel.name] = \
+                    channel.start_command_log()
+        for ch in sorted(bobs):
+            bob = bobs[ch]
+            for link in (bob.down, bob.up):
+                site = faults.link_site(link.name)
+                if site is not None:
+                    link.arm_faults(site)
+
     secure_set = frozenset(config.secure_channels)
     normal_bobs = {
         ch: bob for ch, bob in bobs.items() if ch not in secure_set
     }
-    # Link-pipeline classes (DORAM_LINK).  Tenant faults are modeled at
-    # the arrival-stream layer -- no link/SD fault sites are armed here
-    # -- so the kernel classes are safe whenever the axis selects them.
-    from repro.core.link_kernel import link_classes
+    # Link-pipeline classes (DORAM_LINK).  Fault-armed runs always take
+    # the legacy per-packet classes: recovery frames, NAKs and
+    # armed-empty plans are pinned against the per-packet schedule (same
+    # fallback rule as ``build_and_run``).
+    if faults is None:
+        from repro.core.link_kernel import link_classes
 
-    frontend_cls, backend_cls, delegator_cls = link_classes(engine)
+        frontend_cls, backend_cls, delegator_cls = link_classes(engine)
+    else:
+        frontend_cls = OramFrontend
+        backend_cls = DelegatorBackend
+        delegator_cls = SecureDelegator
     delegators: Dict[int, SecureDelegator] = {}
     for sc in sorted(secure_set):
         delegators[sc] = delegator_cls(
@@ -220,22 +268,56 @@ def build_scenario(
         first_controller.setdefault(sc, ctrl)
     for sc, ctrl in first_controller.items():
         delegators[sc].sequencer = OramSequencer(ctrl)
+    if faults is not None:
+        for sc in sorted(secure_set):
+            delegators[sc].arm_recovery(faults)
 
     horizon = ns(config.horizon_ns)
     sources: List[TenantSource] = []
     frontends: List[OramFrontend] = []
-    faults = {fault.tenant_id: fault for fault in config.tenant_faults}
+    tenant_faults = {
+        fault.tenant_id: fault for fault in config.tenant_faults
+    }
     monitor = _DrainMonitor(engine, sources)
     for tenant_id in range(config.num_tenants):
         sc = config.secure_channel_of(tenant_id)
-        backend = backend_cls(
-            engine, bobs[sc], delegators[sc],
-            controller=controllers[tenant_id],
-        )
+        session = None
+        if faults is not None:
+            ctrl = controllers[tenant_id]
+
+            def _make_fallback(ctrl=ctrl, tenant_id=tenant_id, sc=sc):
+                # Host-side Path ORAM over the normal BOB path; built
+                # lazily, only if the watchdog ever fires.
+                fb_sink = BobChannelSink(
+                    bobs, app_id=_SD_APP_ID_BASE + sc, faults=faults,
+                    retry_limit=faults.recovery.block_read_retries,
+                )
+                fb_ctrl = OramController(
+                    engine, ctrl.config, ctrl.layout, fb_sink,
+                    seed=config.seed + 31 * tenant_id,
+                    name=f"oram{tenant_id}.fb",
+                    tracer=tracer,
+                )
+                return OnChipBackend(engine, fb_ctrl)
+
+            session = SecureLinkSession(
+                engine, bobs[sc], delegators[sc], ctrl,
+                faults.recovery, faults,
+                fallback_factory=_make_fallback,
+                name=f"sdlink{tenant_id}",
+            )
+            backend = FailoverBackend(session)
+        else:
+            backend = backend_cls(
+                engine, bobs[sc], delegators[sc],
+                controller=controllers[tenant_id],
+            )
         frontend = frontend_cls(
             engine, backend, t_cycles=config.t_cycles,
             name=f"oram_fe{tenant_id}", tracer=tracer,
         )
+        if session is not None:
+            session.bind_pacer(frontend.pacer)
         frontends.append(frontend)
         stream = make_stream(
             config.arrival, derive_seed(config.seed, tenant_id)
@@ -246,7 +328,7 @@ def build_scenario(
             queue_cap=config.queue_cap,
             write_fraction=config.write_fraction,
             request_seed=derive_seed(config.seed ^ 0x5EED, tenant_id),
-            fault=faults.get(tenant_id),
+            fault=tenant_faults.get(tenant_id),
             on_outstanding_change=(
                 monitor.completion if config.drain else None
             ),
@@ -324,9 +406,10 @@ def run_scenario(
     tracer=None,
     max_events: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    faults=None,
 ) -> ScenarioResult:
     """Build, simulate, and report one multi-tenant scenario."""
-    parts = build_scenario(config, tracer=tracer)
+    parts = build_scenario(config, tracer=tracer, faults=faults)
     engine: Engine = parts["engine"]
     sources: List[TenantSource] = parts["sources"]
     frontends: List[OramFrontend] = parts["frontends"]
@@ -430,6 +513,11 @@ def run_scenario(
         end_time=engine.now,
         snapshots=sampler.rows if sampler is not None else [],
         raw_events=engine.raw_events_dispatched,
+        fault_summary=faults.summary() if faults is not None else {},
+        tenant_completions={
+            str(source.tenant_id): list(source.completions)
+            for source in sources
+        },
     )
 
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 import hashlib
 import random
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
 
 from repro.core.frontend import OramFrontend
 from repro.dram.commands import OpType
@@ -115,6 +115,9 @@ class TenantSource:
             "sojourn", bucket_width=ns(SOJOURN_BUCKET_NS)
         )
         self.sojourn_stat = self.stats.latency("sojourn_lat")
+        #: ``(completion_tick, sojourn_ticks)`` per completed request, in
+        #: completion order -- the availability scorer's raw material.
+        self.completions: List[Tuple[int, int]] = []
         self._queue_depth = self.stats.histogram("queue_depth")
         #: Windowed (count, total-ticks) pair the governor reads and
         #: resets each control tick.
@@ -216,6 +219,7 @@ class TenantSource:
         self._completed.add()
         self.sojourn.record(sojourn)
         self.sojourn_stat.record(sojourn)
+        self.completions.append((time, sojourn))
         self.window_count += 1
         self.window_total += sojourn
         op = b"W" if is_write else b"R"

@@ -1,0 +1,160 @@
+"""Availability-scorer edge cases and properties (ISSUE 10 satellite).
+
+The scorer is a pure function of (result, plan, slo_ns); these tests
+drive it with synthetic duck-typed results so every edge case -- zero
+completions, fault onset past sim end, everything-recovered -- is exact
+and fast, plus hypothesis properties over random completion streams.
+"""
+
+from types import SimpleNamespace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.availability import (
+    AvailabilityReport,
+    fault_onsets,
+    score_scenario,
+)
+from repro.faults import DelegatorFault, DramFault, FaultPlan, LinkFault
+from repro.sim.engine import TICKS_PER_NS, ns
+
+
+def _result(horizon_ns=1000.0, offered=(4,), completions=((),)):
+    """Duck-typed stand-in for ScenarioResult."""
+    tenants = {
+        str(t): {"offered": n, "completed": len(completions[t])}
+        for t, n in enumerate(offered)
+    }
+    return SimpleNamespace(
+        config=SimpleNamespace(horizon_ns=horizon_ns),
+        tenants=tenants,
+        tenant_completions={
+            str(t): list(c) for t, c in enumerate(completions)
+        },
+    )
+
+
+def _tick(value_ns):
+    return ns(float(value_ns))
+
+
+class TestEdgeCases:
+    def test_zero_completed_requests(self):
+        plan = FaultPlan(dram=(DramFault(rate=0.5, start_ns=10.0),))
+        report = score_scenario(_result(offered=(4,)), plan, slo_ns=100.0)
+        assert report.availability == 0.0
+        assert report.goodput_rps == 0.0
+        assert report.mttr_ns is None
+        assert report.recovery_ns == {"p50": None, "p99": None,
+                                      "p999": None}
+        assert report.unrecovered == 1 and report.recovered == 0
+
+    def test_zero_offered_requests(self):
+        report = score_scenario(
+            _result(offered=(0,)), FaultPlan(), slo_ns=100.0
+        )
+        assert report.availability == 0.0
+        assert report.per_tenant["0"]["availability"] == 0.0
+
+    def test_fault_window_past_sim_end(self):
+        completions = (((_tick(50), _tick(10)),),)
+        plan = FaultPlan(
+            link=(LinkFault(kind="drop", start_ns=5000.0),)
+        )
+        report = score_scenario(
+            _result(offered=(1,), completions=completions), plan,
+            slo_ns=100.0,
+        )
+        # Onset after the only completion: nothing can witness recovery.
+        assert report.fault_onsets == 1
+        assert report.unrecovered == 1
+        assert report.mttr_ns is None
+        # ...but availability is unaffected by the idle fault.
+        assert report.availability == 1.0
+
+    def test_all_requests_recovered(self):
+        completions = ((
+            (_tick(100), _tick(20)),
+            (_tick(200), _tick(30)),
+        ),)
+        plan = FaultPlan(
+            delegator=(DelegatorFault(kind="stall", start_ns=40.0,
+                                      duration_ns=10.0),),
+            dram=(DramFault(rate=0.1, start_ns=150.0),),
+        )
+        report = score_scenario(
+            _result(offered=(2,), completions=completions), plan,
+            slo_ns=50.0,
+        )
+        assert report.recovered == 2 and report.unrecovered == 0
+        # Onset 40 -> good tick 100; onset 150 -> good tick 200.
+        assert report.mttr_ns == ((60 + 50) / 2)
+        assert report.recovery_ns["p50"] == 50.0
+        assert report.recovery_ns["p999"] == 60.0
+
+    def test_slow_completions_do_not_witness_recovery(self):
+        # One completion after the onset, but over SLO: not "good".
+        completions = (((_tick(100), _tick(500)),),)
+        plan = FaultPlan(dram=(DramFault(rate=0.1, start_ns=10.0),))
+        report = score_scenario(
+            _result(offered=(1,), completions=completions), plan,
+            slo_ns=50.0,
+        )
+        assert report.within_slo == 0
+        assert report.unrecovered == 1
+
+    def test_onsets_deduped_and_sorted(self):
+        plan = FaultPlan(
+            link=(LinkFault(kind="drop", start_ns=20.0),
+                  LinkFault(kind="corrupt", start_ns=5.0),),
+            dram=(DramFault(rate=0.1, start_ns=20.0),),
+        )
+        assert fault_onsets(plan) == [ns(5.0), ns(20.0)]
+
+
+_STREAMS = st.lists(
+    st.lists(
+        st.tuples(st.integers(0, 10**6), st.integers(0, 10**4)),
+        max_size=20,
+    ),
+    min_size=1, max_size=4,
+)
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(streams=_STREAMS, slo_ns=st.floats(1.0, 1000.0),
+           extra_offered=st.integers(0, 5))
+    def test_report_invariants(self, streams, slo_ns, extra_offered):
+        offered = tuple(len(s) + extra_offered for s in streams)
+        plan = FaultPlan(dram=(DramFault(rate=0.1, start_ns=100.0),))
+        report = score_scenario(
+            _result(offered=offered, completions=tuple(streams)),
+            plan, slo_ns=slo_ns,
+        )
+        assert 0.0 <= report.availability <= 1.0
+        assert report.within_slo <= report.completed
+        assert report.completed == sum(len(s) for s in streams)
+        assert report.recovered + report.unrecovered == report.fault_onsets
+        assert report.slo_goodput_rps <= report.goodput_rps
+
+    @settings(max_examples=25, deadline=None)
+    @given(streams=_STREAMS, lo=st.floats(1.0, 500.0),
+           extra=st.floats(0.0, 500.0))
+    def test_availability_monotone_in_slo(self, streams, lo, extra):
+        offered = tuple(len(s) for s in streams)
+        result = _result(offered=offered, completions=tuple(streams))
+        loose = score_scenario(result, FaultPlan(), slo_ns=lo + extra)
+        tight = score_scenario(result, FaultPlan(), slo_ns=lo)
+        assert loose.availability >= tight.availability
+
+    def test_report_round_trips_to_json(self):
+        completions = (((_tick(10), _tick(5)),),)
+        report = score_scenario(
+            _result(offered=(1,), completions=completions),
+            FaultPlan(), slo_ns=100.0,
+        )
+        doc = report.to_json_dict()
+        assert doc["availability"] == 1.0
+        assert AvailabilityReport(**doc).to_json_dict() == doc

@@ -62,6 +62,51 @@ class TestValidation:
         with pytest.raises(FaultPlanError):
             FaultPlan.from_json_dict({"link": [{"kindd": "drop"}]})
 
+    def test_negative_start_rejected(self):
+        with pytest.raises(FaultPlanError):
+            LinkFault(start_ns=-1.0)
+        with pytest.raises(FaultPlanError):
+            DramFault(start_ns=-0.5)
+        with pytest.raises(FaultPlanError):
+            DelegatorFault(kind="stall", start_ns=-2.0, duration_ns=5.0)
+
+    def test_negative_indices_rejected(self):
+        with pytest.raises(FaultPlanError):
+            LinkFault(packets=(3, -1))
+        with pytest.raises(FaultPlanError):
+            DramFault(reads=(-7,))
+
+    def test_unknown_literal_site_names_rejected(self):
+        with pytest.raises(FaultPlanError):
+            LinkFault(link="bob0.dwn")
+        with pytest.raises(FaultPlanError):
+            LinkFault(link="sdlink0")
+        with pytest.raises(FaultPlanError):
+            DramFault(channel="chan0")
+
+    def test_wildcard_site_patterns_still_allowed(self):
+        LinkFault(link="bob*.down")
+        LinkFault(link="bob0.up")
+        DramFault(channel="ch0*")
+        DramFault(channel="ch2.1")
+
+    def test_overlapping_stall_windows_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(delegator=(
+                DelegatorFault(kind="stall", start_ns=10.0,
+                               duration_ns=10.0),
+                DelegatorFault(kind="stall", start_ns=15.0,
+                               duration_ns=10.0),
+            ))
+
+    def test_stall_past_crash_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(delegator=(
+                DelegatorFault(kind="crash", start_ns=20.0),
+                DelegatorFault(kind="stall", start_ns=10.0,
+                               duration_ns=50.0),
+            ))
+
 
 class TestRoundTrip:
     def _plan(self):
@@ -82,6 +127,24 @@ class TestRoundTrip:
     def test_json_dict_round_trip(self):
         plan = self._plan()
         assert FaultPlan.from_json_dict(plan.to_json_dict()) == plan
+
+    @pytest.mark.parametrize("plan", [
+        FaultPlan(link=(LinkFault(kind="corrupt", link="bob1.down",
+                                  rate=0.1, tag="mac"),)),
+        FaultPlan(link=(LinkFault(kind="drop", link="bob*.up",
+                                  packets=(0, 9)),)),
+        FaultPlan(link=(LinkFault(kind="delay", delay_ns=12.5,
+                                  start_ns=10.0, stop_ns=20.0),)),
+        FaultPlan(dram=(DramFault(channel="ch1.0", rate=0.5,
+                                  reads=(4,)),)),
+        FaultPlan(delegator=(DelegatorFault(kind="stall", start_ns=5.0,
+                                            duration_ns=2.0),)),
+        FaultPlan(delegator=(DelegatorFault(kind="crash",
+                                            start_ns=7.0),)),
+    ], ids=["corrupt", "drop", "delay", "dram", "stall", "crash"])
+    def test_every_kind_round_trips(self, plan):
+        doc = json.loads(json.dumps(plan.to_json_dict()))
+        assert FaultPlan.from_json_dict(doc) == plan
 
     def test_json_bytes_round_trip(self, tmp_path):
         plan = self._plan()
@@ -119,14 +182,13 @@ class TestSchedule:
         assert plan.crash_tick() == ns(3.0)
         assert FaultPlan().crash_tick() is None
 
-    def test_stall_windows_merge_overlaps(self):
+    def test_stall_windows_sorted(self):
         plan = FaultPlan(delegator=(
-            DelegatorFault(kind="stall", start_ns=10.0, duration_ns=10.0),
-            DelegatorFault(kind="stall", start_ns=15.0, duration_ns=10.0),
             DelegatorFault(kind="stall", start_ns=100.0, duration_ns=5.0),
+            DelegatorFault(kind="stall", start_ns=10.0, duration_ns=10.0),
         ))
         assert plan.stall_windows() == [
-            (ns(10.0), ns(25.0)), (ns(100.0), ns(105.0)),
+            (ns(10.0), ns(20.0)), (ns(100.0), ns(105.0)),
         ]
 
     def test_describe_mentions_every_rule(self):

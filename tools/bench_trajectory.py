@@ -72,6 +72,11 @@ WORKLOAD_KEYS = {
                 "rounds", "frontier_size", "latency_err_mean",
                 "latency_err_p95", "goodput_err_mean",
                 "goodput_err_p95"),
+    # BENCH_chaos.json: one row per campaign cell; recovery_p99_ns is
+    # -1.0 (never null) when no fault onset had a recovery witness.
+    "chaos_point": ("config", "campaign", "availability", "goodput_rps",
+                    "slo_goodput_rps", "recovery_p99_ns",
+                    "invariants_ok"),
 }
 
 #: What makes two workload rows "the same measurement": the sibling
